@@ -1,0 +1,36 @@
+"""Benchmark: BannerClick vs the Priv-Accept baseline (paper §2).
+
+Quantifies why the paper's extensions matter: the baseline cannot see
+into iframes or shadow DOMs and has no cookiewall classifier, so it
+misses most walls entirely.
+"""
+
+from conftest import run_once, write_artifact
+
+from repro.bannerclick import BannerClick
+from repro.bannerclick.priv_accept import compare_detection
+
+
+def test_baseline_comparison(benchmark, bench_world):
+    walls = sorted(bench_world.wall_domains)
+
+    def produce():
+        return compare_detection(
+            lambda: bench_world.browser("DE"), walls, BannerClick()
+        )
+
+    stats = run_once(benchmark, produce)
+    text = (
+        f"wall sites:                 {stats['total']}\n"
+        f"Priv-Accept found accept:   {stats['priv_accept_found']}\n"
+        f"BannerClick found accept:   {stats['bannerclick_found']}\n"
+        f"BannerClick-only coverage:  {stats['bannerclick_only']}\n"
+        f"classified as cookiewalls:  {stats['walls_flagged_by_bannerclick']}"
+    )
+    write_artifact("baseline_comparison", text)
+    print()
+    print(text)
+    assert stats["bannerclick_found"] == stats["total"]
+    assert stats["walls_flagged_by_bannerclick"] == stats["total"]
+    # The baseline only reaches main-document walls (72/280 in the paper).
+    assert stats["priv_accept_found"] < stats["total"] * 0.5

@@ -1,0 +1,40 @@
+"""Benchmarks for the measurement pipeline itself (crawl throughput)."""
+
+from conftest import BENCH_SCALE, BENCH_SEED, run_once, write_artifact
+
+from repro.bannerclick import BannerClick
+from repro.measure.crawl import Crawler
+from repro.webgen import build_world
+
+
+def test_world_build(benchmark):
+    """Time the full synthetic-web construction."""
+    world = run_once(benchmark, lambda: build_world(scale=BENCH_SCALE, seed=BENCH_SEED))
+    assert len(world.crawl_targets) > 0
+
+
+def test_visit_and_detect_throughput(benchmark, bench_world):
+    """Detection-visit throughput over a 200-site sample (hot path)."""
+    crawler = Crawler(bench_world)
+    sample = bench_world.crawl_targets[:200]
+
+    def sweep():
+        return [crawler.visit("DE", domain) for domain in sample]
+
+    records = benchmark.pedantic(sweep, rounds=1, iterations=1, warmup_rounds=0)
+    assert len(records) == len(sample)
+
+
+def test_full_detection_crawl(benchmark, bench_context):
+    """The 8-VP crawl of the whole target union (the paper's §3 crawl).
+
+    The shared fixture caches it, so this times the already-computed
+    product on re-runs; on the first run it performs the real crawl.
+    """
+    crawl = run_once(benchmark, bench_context.detection_crawl)
+    write_artifact(
+        "crawl_summary",
+        f"records: {len(crawl)}\n"
+        f"unique cookiewall domains: {len(crawl.cookiewall_domains())}",
+    )
+    assert len(crawl.cookiewall_domains()) > 0

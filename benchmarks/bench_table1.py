@@ -1,0 +1,23 @@
+"""Benchmark + artefact: Table 1 (cookiewalls per vantage point)."""
+
+from conftest import run_once, write_artifact
+
+from repro.analysis.tables import compute_table1
+
+
+def test_table1(benchmark, bench_world, bench_context, warm_crawl):
+    """Regenerate Table 1 from the shared detection crawl."""
+
+    def produce():
+        return compute_table1(bench_world, warm_crawl)
+
+    table = run_once(benchmark, produce)
+    write_artifact("table1", table.render())
+    print()
+    print(table.render())
+    de = table.row("DE")
+    use = table.row("USE")
+    # Paper shape: Germany sees the most walls; US toplist/ccTLD are 0.
+    assert de.cookiewalls >= max(r.cookiewalls for r in table.rows)
+    assert use.toplist == 0 and use.cctld == 0
+    assert de.toplist > 0 and de.cctld > 0 and de.language > 0

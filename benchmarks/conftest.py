@@ -1,0 +1,52 @@
+"""Benchmark fixtures: one full-scale world + one shared crawl.
+
+By default benchmarks run at **paper scale** (45,222 reachable targets,
+8 vantage points).  Set ``REPRO_BENCH_SCALE`` to e.g. ``0.05`` for a
+quick pass.  Expensive products (the detection crawl, the cookie
+measurements) are computed once in session fixtures — individual
+benchmarks then time the analysis that regenerates each artefact, and
+``bench_pipeline`` times the crawl itself.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import ExperimentContext
+from repro.measure.crawl import Crawler
+from repro.webgen import build_world
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "2023"))
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def bench_world():
+    return build_world(scale=BENCH_SCALE, seed=BENCH_SEED)
+
+
+@pytest.fixture(scope="session")
+def bench_context(bench_world):
+    return ExperimentContext(bench_world, crawler=Crawler(bench_world))
+
+
+@pytest.fixture(scope="session")
+def warm_crawl(bench_context):
+    """The 8-VP detection crawl, computed once for the whole session."""
+    return bench_context.detection_crawl()
+
+
+def write_artifact(name: str, text: str) -> None:
+    """Persist a rendered table/figure for EXPERIMENTS.md."""
+    OUTPUT_DIR.mkdir(parents=True, exist_ok=True)
+    (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+
+
+def run_once(benchmark, fn):
+    """Run an expensive benchmark exactly once (no warmup rounds)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

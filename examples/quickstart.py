@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Quickstart: build a small synthetic web, detect a cookiewall, accept it.
+
+Runs in a few seconds::
+
+    python examples/quickstart.py
+"""
+
+from repro.bannerclick import BannerClick, accept_banner
+from repro.measure import Crawler, count_cookies
+from repro.httpkit import CookieJar
+from repro.webgen import build_world
+
+
+def main() -> None:
+    # 1. Build a 2%-scale world (~1k sites, deterministic).
+    world = build_world(scale=0.02, seed=7)
+    print("world:", world.stats())
+
+    # 2. Pick a cookiewall site and visit it from the Frankfurt VP.
+    domain = sorted(world.wall_domains)[0]
+    jar = CookieJar()
+    browser = world.browser("DE", jar=jar)
+    page = browser.visit(domain)
+    print(f"\nvisited https://{domain}/ from Frankfurt")
+
+    # 3. Run the BannerClick detector.
+    detector = BannerClick()
+    detection = detector.detect(page)
+    print(f"banner found:    {detection.found} ({detection.location})")
+    print(f"is cookiewall:   {detection.is_cookiewall}")
+    print(f"matched words:   {detection.wall_word_match}, "
+          f"currency: {detection.currency_matches}")
+    print(f"banner text:     {detection.text[:100]}...")
+
+    # 4. Accept the wall and reload — trackers now load.
+    accept_banner(browser, page, detection)
+    page = browser.reload(page)
+    counts = count_cookies(jar, page.site, world.tracking_list)
+    print(f"\nafter accepting: {counts.first_party} first-party, "
+          f"{counts.third_party} third-party, "
+          f"{counts.tracking} tracking cookies")
+
+    # 5. The same site shows no trackers before consent.
+    fresh = CookieJar()
+    browser2 = world.browser("DE", jar=fresh)
+    page2 = browser2.visit(domain)
+    counts2 = count_cookies(fresh, page2.site, world.tracking_list)
+    print(f"without consent: {counts2.first_party} first-party, "
+          f"{counts2.third_party} third-party, "
+          f"{counts2.tracking} tracking cookies")
+
+    # 6. Convenience: the crawler wraps this whole flow with repeats.
+    crawler = Crawler(world)
+    measurement = crawler.measure_accept_cookies("DE", domain, repeats=5)
+    print(f"\n5-visit average: fp={measurement.avg_first_party:.1f} "
+          f"tp={measurement.avg_third_party:.1f} "
+          f"tracking={measurement.avg_tracking:.1f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Revoking cookiewall acceptance (paper §5).
+
+Demonstrates the trap the paper describes: a user who first accepted a
+cookiewall and later bought a subscription *keeps being tracked* until
+they delete the site's cookies::
+
+    python examples/revoking_acceptance.py
+"""
+
+from repro.bannerclick import BannerClick, accept_banner
+from repro.httpkit import CookieJar
+from repro.measure import count_cookies
+from repro.webgen import build_world
+
+
+def main() -> None:
+    world = build_world(scale=0.02, seed=7)
+    platform = world.platforms["contentpass"]
+    platform.create_account("victim@example.org", "pw")
+    partner = platform.partner_domains[0]
+    print(f"partner site: https://{partner}/\n")
+
+    jar = CookieJar()
+    browser = world.browser("DE", jar=jar)
+    detector = BannerClick()
+
+    # Day 1: the user clicks "accept" on the cookiewall.
+    page = browser.visit(partner)
+    detection = detector.detect(page)
+    assert detection.is_cookiewall
+    accept_banner(browser, page, detection)
+    browser.reload(page)
+    counts = count_cookies(jar, partner, world.tracking_list)
+    print(f"after accepting:       {counts.tracking} tracking cookies")
+
+    # Day 2: they buy a subscription and log in.
+    platform.purchase_subscription("victim@example.org")
+    browser.visit(
+        f"https://{platform.domain}/login?email=victim@example.org&password=pw"
+    )
+    browser.visit(partner)
+    counts = count_cookies(jar, partner, world.tracking_list)
+    print(f"subscribed + revisit:  {counts.tracking} tracking cookies "
+          "(the old consent cookie still wins!)")
+
+    # The fix the paper describes: delete the site's cookies, revisit.
+    removed = browser.clear_site_data(partner)
+    print(f"\ncleared {removed} cookies for {partner}")
+    baseline = jar.snapshot()
+    page = browser.visit(partner)
+    counts = count_cookies(jar, partner, world.tracking_list, baseline=baseline)
+    detection = detector.detect(page)
+    print(f"after clearing:        {counts.tracking} tracking cookies, "
+          f"wall shown: {detection.is_cookiewall}, "
+          f"subscriber recognised: {bool(page.flags.get('smp_subscriber'))}")
+
+
+if __name__ == "__main__":
+    main()

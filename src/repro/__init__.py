@@ -1,0 +1,60 @@
+"""repro — reproduction of "Thou Shalt Not Reject" (IMC 2023).
+
+A self-contained implementation of the paper's cookiewall measurement
+system: a synthetic web substrate (DOM with shadow roots and iframes,
+HTML parser, HTTP cookies, browser, ad-blocker, tracker ecosystem,
+Subscription Management Platforms) plus the extended BannerClick
+detector, the multi-vantage-point crawl harness, and the analysis code
+that regenerates every table and figure of the paper.
+
+Quickstart
+----------
+>>> from repro import build_world, Crawler
+>>> world = build_world(scale=0.02, seed=7)      # small demo web
+>>> crawler = Crawler(world)
+
+See ``examples/quickstart.py`` for a complete tour.
+"""
+
+from repro.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReproError",
+    "__version__",
+    # Re-exported lazily below.
+    "build_world",
+    "World",
+    "WorldConfig",
+    "Crawler",
+    "BannerClick",
+    "VANTAGE_POINTS",
+    "run_experiment",
+    "EXPERIMENTS",
+]
+
+
+def __getattr__(name):  # pragma: no cover - thin lazy-import shim
+    """Lazily expose the high-level API without import cycles."""
+    if name in ("build_world", "World", "WorldConfig"):
+        from repro.webgen import world as _world
+
+        return getattr(_world, name)
+    if name == "Crawler":
+        from repro.measure.crawl import Crawler
+
+        return Crawler
+    if name == "BannerClick":
+        from repro.bannerclick import BannerClick
+
+        return BannerClick
+    if name == "VANTAGE_POINTS":
+        from repro.vantage import VANTAGE_POINTS
+
+        return VANTAGE_POINTS
+    if name in ("run_experiment", "EXPERIMENTS"):
+        from repro.experiments import runner as _runner
+
+        return getattr(_runner, name)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

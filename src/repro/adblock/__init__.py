@@ -1,0 +1,21 @@
+"""An ad-blocker: ABP-syntax filters, matching engine, uBlock stand-in.
+
+Used to reproduce paper §4.5 (Bypassing Cookiewalls): with the
+Annoyances lists enabled, uBlock Origin suppressed the cookiewall on
+~70% of sites by blocking the CMP/SMP scripts that inject the wall.
+"""
+
+from repro.adblock.engine import FilterEngine
+from repro.adblock.filters import CosmeticFilter, NetworkFilter, parse_filter_list
+from repro.adblock.lists import annoyances_list, easylist
+from repro.adblock.ublock import UBlockOrigin
+
+__all__ = [
+    "NetworkFilter",
+    "CosmeticFilter",
+    "parse_filter_list",
+    "FilterEngine",
+    "easylist",
+    "annoyances_list",
+    "UBlockOrigin",
+]

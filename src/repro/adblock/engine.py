@@ -1,0 +1,89 @@
+"""The filter engine: network blocking decisions + cosmetic selectors."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.adblock.filters import (
+    CosmeticFilter,
+    NetworkFilter,
+    parse_filter_list,
+)
+from repro.httpkit import Request
+
+
+class FilterEngine:
+    """Evaluates requests and hosts against a set of filter lists."""
+
+    def __init__(self) -> None:
+        self._block: List[NetworkFilter] = []
+        self._allow: List[NetworkFilter] = []
+        self._hide: List[CosmeticFilter] = []
+        self._unhide: List[CosmeticFilter] = []
+        #: Per-filter hit counts (the uBlock logger), raw line -> hits.
+        self.hit_counts: dict = {}
+
+    # ------------------------------------------------------------------
+    # Loading
+    # ------------------------------------------------------------------
+    def add_list(self, text: str) -> None:
+        """Parse and add one filter list."""
+        network, cosmetic = parse_filter_list(text)
+        for nf in network:
+            (self._allow if nf.is_exception else self._block).append(nf)
+        for cf in cosmetic:
+            (self._unhide if cf.is_exception else self._hide).append(cf)
+
+    def add_lists(self, texts: Iterable[str]) -> None:
+        for text in texts:
+            self.add_list(text)
+
+    @property
+    def filter_count(self) -> int:
+        return (
+            len(self._block) + len(self._allow)
+            + len(self._hide) + len(self._unhide)
+        )
+
+    # ------------------------------------------------------------------
+    # Decisions
+    # ------------------------------------------------------------------
+    def should_block(self, request: Request) -> bool:
+        """True when a block filter matches and no exception overrides."""
+        matched = self.matching_filter(request)
+        return matched is not None
+
+    def matching_filter(self, request: Request) -> Optional[NetworkFilter]:
+        """The block filter responsible for blocking, or None."""
+        for allow in self._allow:
+            if allow.matches(request):
+                self.hit_counts[allow.raw] = self.hit_counts.get(allow.raw, 0) + 1
+                return None
+        for block in self._block:
+            if block.matches(request):
+                self.hit_counts[block.raw] = self.hit_counts.get(block.raw, 0) + 1
+                return block
+        return None
+
+    def explain(self, request: Request) -> Optional[str]:
+        """The raw filter line that decides this request, or None."""
+        matched = self.matching_filter(request)
+        return matched.raw if matched is not None else None
+
+    def top_filters(self, limit: int = 10) -> List[tuple]:
+        """Most-hit filters (the uBlock logger's ranking view)."""
+        ranked = sorted(
+            self.hit_counts.items(), key=lambda item: -item[1]
+        )
+        return ranked[:limit]
+
+    def cosmetic_selectors(self, host: str) -> List[str]:
+        """CSS selectors to hide on *host* (minus exceptions)."""
+        excluded = {
+            cf.selector for cf in self._unhide if cf.applies_to(host)
+        }
+        out: List[str] = []
+        for cf in self._hide:
+            if cf.applies_to(host) and cf.selector not in excluded:
+                out.append(cf.selector)
+        return out

@@ -1,0 +1,187 @@
+"""Adblock Plus filter syntax (the subset uBlock lists rely on).
+
+Network filters::
+
+    ||ads.example.com^                      host anchor
+    ||tracker.net^$script,third-party       with type/party options
+    /pixel?id=                              substring
+    *cdn.opencmp.net/*                      wildcard substring
+    @@||cdn.goodsite.com^                   exception
+
+Cosmetic filters::
+
+    ##.ad-banner                            generic element hide
+    example.de##div[data-promo]             domain-specific hide
+    example.de#@#.ad-banner                 hide exception
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import List, Optional, Set, Tuple
+
+from repro.errors import FilterSyntaxError
+from repro.httpkit import Request
+from repro.urlkit import is_subdomain_of
+
+_TYPE_OPTIONS = frozenset(
+    {"script", "image", "stylesheet", "subdocument", "xhr", "other", "document"}
+)
+
+
+@dataclass
+class NetworkFilter:
+    """One parsed network filter line."""
+
+    raw: str
+    is_exception: bool = False
+    anchor_domain: Optional[str] = None          # for ||domain^ filters
+    substring_regex: Optional["re.Pattern"] = None
+    resource_types: Set[str] = field(default_factory=set)
+    third_party: Optional[bool] = None           # None = either
+    include_domains: Set[str] = field(default_factory=set)
+    exclude_domains: Set[str] = field(default_factory=set)
+
+    def matches(self, request: Request) -> bool:
+        if not self._pattern_matches(request):
+            return False
+        if self.resource_types and request.resource_type not in self.resource_types:
+            return False
+        if self.third_party is not None and request.is_third_party != self.third_party:
+            return False
+        initiator_host = request.initiator.host if request.initiator else ""
+        if self.include_domains and not any(
+            is_subdomain_of(initiator_host, d) for d in self.include_domains
+        ):
+            return False
+        if any(is_subdomain_of(initiator_host, d) for d in self.exclude_domains):
+            return False
+        return True
+
+    def _pattern_matches(self, request: Request) -> bool:
+        if self.anchor_domain is not None:
+            return is_subdomain_of(request.url.host, self.anchor_domain)
+        if self.substring_regex is not None:
+            return self.substring_regex.search(str(request.url)) is not None
+        return False
+
+
+@dataclass
+class CosmeticFilter:
+    """One parsed cosmetic (element hiding) filter line."""
+
+    raw: str
+    selector: str
+    domains: Set[str] = field(default_factory=set)  # empty = generic
+    is_exception: bool = False
+
+    def applies_to(self, host: str) -> bool:
+        if not self.domains:
+            return True
+        return any(is_subdomain_of(host, d) for d in self.domains)
+
+
+def parse_filter_line(line: str) -> Optional[object]:
+    """Parse a single filter-list line; None for comments/blank lines."""
+    line = line.strip()
+    if not line or line.startswith("!") or line.startswith("["):
+        return None
+    if "#@#" in line:
+        domains_part, _, selector = line.partition("#@#")
+        return _cosmetic(line, domains_part, selector, is_exception=True)
+    if "##" in line:
+        domains_part, _, selector = line.partition("##")
+        return _cosmetic(line, domains_part, selector, is_exception=False)
+    return _network(line)
+
+
+def _cosmetic(raw: str, domains_part: str, selector: str, is_exception: bool) -> CosmeticFilter:
+    selector = selector.strip()
+    if not selector:
+        raise FilterSyntaxError(f"cosmetic filter without selector: {raw!r}")
+    domains = {
+        d.strip().lower()
+        for d in domains_part.split(",")
+        if d.strip() and not d.strip().startswith("~")
+    }
+    return CosmeticFilter(raw=raw, selector=selector, domains=domains,
+                          is_exception=is_exception)
+
+
+def _network(raw: str) -> NetworkFilter:
+    line = raw
+    is_exception = line.startswith("@@")
+    if is_exception:
+        line = line[2:]
+    options_text = ""
+    # Options follow the last "$" that is not part of the pattern body.
+    if "$" in line:
+        pattern, _, options_text = line.rpartition("$")
+        if not pattern:
+            raise FilterSyntaxError(f"options without a pattern: {raw!r}")
+        line = pattern
+    nf = NetworkFilter(raw=raw, is_exception=is_exception)
+    _parse_options(nf, options_text, raw)
+    if line.startswith("||"):
+        body = line[2:]
+        if body.endswith("^"):
+            body = body[:-1]
+        if not body or "/" in body or "^" in body:
+            raise FilterSyntaxError(f"unsupported host anchor: {raw!r}")
+        nf.anchor_domain = body.lower()
+        return nf
+    if not line or line in ("*", "|"):
+        raise FilterSyntaxError(f"empty filter pattern: {raw!r}")
+    nf.substring_regex = _pattern_to_regex(line)
+    return nf
+
+
+def _parse_options(nf: NetworkFilter, options_text: str, raw: str) -> None:
+    if not options_text:
+        return
+    for option in options_text.split(","):
+        option = option.strip().lower()
+        if not option:
+            continue
+        if option in _TYPE_OPTIONS:
+            nf.resource_types.add(option)
+        elif option == "third-party":
+            nf.third_party = True
+        elif option == "~third-party":
+            nf.third_party = False
+        elif option.startswith("domain="):
+            for domain in option[len("domain="):].split("|"):
+                domain = domain.strip().lower()
+                if domain.startswith("~"):
+                    nf.exclude_domains.add(domain[1:])
+                elif domain:
+                    nf.include_domains.add(domain)
+        else:
+            raise FilterSyntaxError(f"unsupported option {option!r} in {raw!r}")
+
+
+def _pattern_to_regex(pattern: str) -> "re.Pattern":
+    """Convert an ABP substring pattern to a compiled regex."""
+    pattern = pattern.strip("|")
+    parts = [re.escape(chunk) for chunk in pattern.split("*")]
+    body = ".*".join(parts)
+    # "^" is ABP's separator character: anything that is not alphanumeric
+    # or one of -._% (or end of string).
+    body = body.replace(r"\^", r"(?:[^\w\-.%]|$)")
+    return re.compile(body)
+
+
+def parse_filter_list(text: str) -> Tuple[List[NetworkFilter], List[CosmeticFilter]]:
+    """Parse a full filter list into (network, cosmetic) filters."""
+    network: List[NetworkFilter] = []
+    cosmetic: List[CosmeticFilter] = []
+    for line in text.splitlines():
+        parsed = parse_filter_line(line)
+        if parsed is None:
+            continue
+        if isinstance(parsed, NetworkFilter):
+            network.append(parsed)
+        else:
+            cosmetic.append(parsed)
+    return network, cosmetic

@@ -1,0 +1,5 @@
+"""Analysis: statistics and the paper's tables/figures as data + ASCII."""
+
+from repro.analysis.stats import ecdf, mean, median, pearson, quantile
+
+__all__ = ["median", "mean", "quantile", "ecdf", "pearson"]

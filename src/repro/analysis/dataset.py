@@ -1,0 +1,103 @@
+"""Data-release bundles (the paper publishes tools, data, and code).
+
+The paper's artefact release [49] ships raw crawl records and analysis
+inputs.  :func:`export_dataset` writes the equivalent bundle for a
+reproduction run: crawl records, cookie measurements, uBlock records,
+the toplists, the tracking list, and a manifest; :func:`load_dataset`
+reads a bundle back for offline re-analysis.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.measure.records import CookieMeasurement, UBlockRecord, VisitRecord
+from repro.measure.storage import load_records, save_records
+from repro.webgen.crux import export_all, import_toplist
+from repro.webgen.world import World
+
+_MANIFEST = "manifest.json"
+
+
+@dataclass
+class Dataset:
+    """An in-memory view of a released measurement bundle."""
+
+    manifest: Dict = field(default_factory=dict)
+    visit_records: List[VisitRecord] = field(default_factory=list)
+    cookie_measurements: List[CookieMeasurement] = field(default_factory=list)
+    ublock_records: List[UBlockRecord] = field(default_factory=list)
+    toplists: Dict[str, object] = field(default_factory=dict)
+    tracking_domains: List[str] = field(default_factory=list)
+
+    def cookiewall_domains(self) -> List[str]:
+        seen = []
+        for record in self.visit_records:
+            if record.is_cookiewall and record.domain not in seen:
+                seen.append(record.domain)
+        return seen
+
+
+def export_dataset(
+    directory: Union[str, Path],
+    *,
+    world: World,
+    visit_records: Sequence[VisitRecord] = (),
+    cookie_measurements: Sequence[CookieMeasurement] = (),
+    ublock_records: Sequence[UBlockRecord] = (),
+    description: str = "",
+) -> Path:
+    """Write a measurement bundle; returns the directory path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+
+    save_records(visit_records, directory / "visits.jsonl")
+    save_records(cookie_measurements, directory / "cookies.jsonl")
+    save_records(ublock_records, directory / "ublock.jsonl")
+    export_all(world.toplists, directory / "toplists")
+    (directory / "justdomains.txt").write_text(
+        world.tracking_list.to_text(), encoding="utf-8"
+    )
+    manifest = {
+        "description": description,
+        "seed": world.config.seed,
+        "scale": world.config.scale,
+        "crawl_targets": len(world.crawl_targets),
+        "visit_records": len(visit_records),
+        "cookie_measurements": len(cookie_measurements),
+        "ublock_records": len(ublock_records),
+        "files": [
+            "visits.jsonl", "cookies.jsonl", "ublock.jsonl",
+            "toplists/", "justdomains.txt",
+        ],
+    }
+    (directory / _MANIFEST).write_text(
+        json.dumps(manifest, indent=2), encoding="utf-8"
+    )
+    return directory
+
+
+def load_dataset(directory: Union[str, Path]) -> Dataset:
+    """Read a bundle written by :func:`export_dataset`."""
+    directory = Path(directory)
+    manifest = json.loads((directory / _MANIFEST).read_text(encoding="utf-8"))
+    dataset = Dataset(manifest=manifest)
+    for record in load_records(directory / "visits.jsonl"):
+        dataset.visit_records.append(record)
+    for record in load_records(directory / "cookies.jsonl"):
+        dataset.cookie_measurements.append(record)
+    for record in load_records(directory / "ublock.jsonl"):
+        dataset.ublock_records.append(record)
+    for csv_path in sorted((directory / "toplists").glob("crux_*.csv")):
+        toplist = import_toplist(csv_path)
+        dataset.toplists[toplist.country] = toplist
+    from repro.blocklists import JustDomainsList
+
+    tracking = JustDomainsList.from_text(
+        (directory / "justdomains.txt").read_text(encoding="utf-8")
+    )
+    dataset.tracking_domains = list(tracking)
+    return dataset

@@ -1,0 +1,149 @@
+"""ASCII rendering helpers: box plots, scatter plots, shaded heatmaps.
+
+The paper's figures are box/scatter/heatmap plots; these helpers give
+the benchmark artefacts a visual form that makes the distributions
+readable in a terminal or a text file.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.stats import quantile
+from repro.errors import AnalysisError
+
+_SHADES = " .:-=+*#%@"
+
+
+def ascii_box_row(
+    values: Sequence[float],
+    *,
+    low: float,
+    high: float,
+    width: int = 48,
+) -> str:
+    """One box-and-whisker row scaled to [low, high]."""
+    if not values:
+        raise AnalysisError("ascii_box_row() of empty data")
+    if high <= low:
+        high = low + 1.0
+
+    def column(value: float) -> int:
+        fraction = (value - low) / (high - low)
+        return max(0, min(width - 1, int(round(fraction * (width - 1)))))
+
+    q0 = column(min(values))
+    q1 = column(quantile(values, 0.25))
+    q2 = column(quantile(values, 0.5))
+    q3 = column(quantile(values, 0.75))
+    q4 = column(max(values))
+    row = [" "] * width
+    for i in range(q0, q4 + 1):
+        row[i] = "-"
+    for i in range(q1, q3 + 1):
+        row[i] = "="
+    row[q0] = "|"
+    row[q4] = "|"
+    row[q2] = "#"
+    return "".join(row)
+
+
+def ascii_boxplot(
+    groups: Dict[str, Sequence[float]],
+    *,
+    width: int = 48,
+    log_scale: bool = False,
+) -> str:
+    """Multi-row box plot with a shared (optionally log) scale."""
+    if not groups:
+        raise AnalysisError("ascii_boxplot() of empty groups")
+    transform = (lambda v: math.log10(v + 1)) if log_scale else (lambda v: v)
+    all_values = [
+        transform(v) for values in groups.values() for v in values
+    ]
+    low, high = min(all_values), max(all_values)
+    label_width = max(len(label) for label in groups) + 2
+    lines = []
+    for label, values in groups.items():
+        if not values:
+            continue
+        row = ascii_box_row(
+            [transform(v) for v in values], low=low, high=high, width=width
+        )
+        lines.append(f"{label:<{label_width}}{row}")
+    scale_note = " (log scale)" if log_scale else ""
+    lines.append(f"{'':<{label_width}}{'min':<{width - 6}}   max{scale_note}")
+    return "\n".join(lines)
+
+
+def ascii_scatter(
+    points: Sequence[Tuple[float, float]],
+    *,
+    width: int = 60,
+    height: int = 14,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """A dot-matrix scatter plot."""
+    if not points:
+        raise AnalysisError("ascii_scatter() of empty data")
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(ys), max(ys)
+    if x_high <= x_low:
+        x_high = x_low + 1.0
+    if y_high <= y_low:
+        y_high = y_low + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in points:
+        col = int((x - x_low) / (x_high - x_low) * (width - 1))
+        row = int((y - y_low) / (y_high - y_low) * (height - 1))
+        row = height - 1 - row  # origin bottom-left
+        current = grid[row][col]
+        if current == " ":
+            grid[row][col] = "o"
+        elif current == "o":
+            grid[row][col] = "O"
+        else:
+            grid[row][col] = "@"
+    lines = [f"{y_label} ({y_low:.1f} .. {y_high:.1f})"]
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width)
+    lines.append(f" {x_label} ({x_low:.1f} .. {x_high:.1f})")
+    return "\n".join(lines)
+
+
+def ascii_heatmap(
+    matrix: Dict[str, Dict[int, int]],
+    *,
+    columns: Optional[Sequence[int]] = None,
+    cell_width: int = 5,
+) -> str:
+    """A shaded count matrix (rows sorted by total, descending)."""
+    if not matrix:
+        raise AnalysisError("ascii_heatmap() of empty matrix")
+    if columns is None:
+        all_columns = sorted({c for row in matrix.values() for c in row})
+    else:
+        all_columns = list(columns)
+    peak = max(
+        (count for row in matrix.values() for count in row.values()),
+        default=1,
+    )
+    lines = ["row    " + "".join(f"{c:>{cell_width}}" for c in all_columns)]
+    for key in sorted(matrix, key=lambda k: -sum(matrix[k].values())):
+        row = matrix[key]
+        cells = []
+        for column in all_columns:
+            count = row.get(column, 0)
+            if count == 0:
+                cells.append(" " * cell_width)
+                continue
+            shade = _SHADES[
+                min(int(count / peak * (len(_SHADES) - 1)), len(_SHADES) - 1)
+            ]
+            cells.append(f"{count:>{cell_width - 1}}{shade}")
+        lines.append(f"{key:<7}" + "".join(cells))
+    return "\n".join(lines)

@@ -1,0 +1,79 @@
+"""§4.1 landscape headline statistics from a detection crawl."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+from repro.measure.crawl import CrawlResult
+from repro.webgen.toplist import BUCKET_TOP1K
+from repro.webgen.world import World
+
+
+@dataclass
+class LandscapeReport:
+    """Prevalence statistics (the §4.1 'To summarize' numbers)."""
+
+    total_targets: int = 0
+    unique_walls: int = 0
+    overall_rate: float = 0.0                   # paper: 0.6 %
+    germany_top10k_rate: float = 0.0            # paper: 2.9 %
+    germany_top1k_rate: float = 0.0             # paper: 8.5 %
+    countrywise_top1k_rate: float = 0.0         # paper: 1.7 %
+    placement_counts: Dict[str, int] = field(default_factory=dict)
+
+    def render(self) -> str:
+        lines = [
+            "Cookiewall landscape (§4.1)",
+            f"  targets crawled:            {self.total_targets}",
+            f"  unique cookiewall websites: {self.unique_walls}"
+            f" ({self.overall_rate * 100:.2f}%)",
+            f"  Germany top-10k rate:       {self.germany_top10k_rate * 100:.2f}%",
+            f"  Germany top-1k rate:        {self.germany_top1k_rate * 100:.2f}%",
+            f"  country-wise top-1k rate:   {self.countrywise_top1k_rate * 100:.2f}%",
+            "  banner embedding:",
+        ]
+        for placement, count in sorted(self.placement_counts.items()):
+            lines.append(f"    {placement:<14} {count}")
+        return "\n".join(lines)
+
+
+def compute_landscape(world: World, crawl: CrawlResult) -> LandscapeReport:
+    report = LandscapeReport()
+    report.total_targets = len(world.crawl_targets)
+    wall_domains: Set[str] = set(crawl.cookiewall_domains())
+    report.unique_walls = len(wall_domains)
+    if report.total_targets:
+        report.overall_rate = report.unique_walls / report.total_targets
+
+    # Germany rates (reachable list members only).
+    de_list = world.toplists["DE"]
+    de_members = [d for d in de_list.domains() if d in world.sites
+                  and world.sites[d].reachable]
+    de_walls = [d for d in wall_domains if d in de_list]
+    if de_members:
+        report.germany_top10k_rate = len(de_walls) / len(de_members)
+    de_top1k = set(de_list.domains(BUCKET_TOP1K))
+    de_top1k_reachable = [d for d in de_top1k if world.sites[d].reachable]
+    de_top1k_walls = [d for d in wall_domains if d in de_top1k]
+    if de_top1k_reachable:
+        report.germany_top1k_rate = len(de_top1k_walls) / len(de_top1k_reachable)
+
+    # Country-wise top-1k rate: union of every country's top bucket.
+    union_top1k: Set[str] = set()
+    for toplist in world.toplists.values():
+        union_top1k.update(toplist.domains(BUCKET_TOP1K))
+    union_top1k = {
+        d for d in union_top1k if d in world.sites and world.sites[d].reachable
+    }
+    top1k_walls = wall_domains & union_top1k
+    if union_top1k:
+        report.countrywise_top1k_rate = len(top1k_walls) / len(union_top1k)
+
+    # Placement mix from the German VP's detections (the most complete).
+    for record in crawl.cookiewalls("DE"):
+        location = record.banner_location
+        report.placement_counts[location] = (
+            report.placement_counts.get(location, 0) + 1
+        )
+    return report

@@ -1,0 +1,84 @@
+"""Small statistics helpers (no external dependencies needed)."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.errors import AnalysisError
+
+
+def mean(values: Iterable[float]) -> float:
+    items = list(values)
+    if not items:
+        raise AnalysisError("mean() of empty data")
+    return sum(items) / len(items)
+
+
+def median(values: Iterable[float]) -> float:
+    items = sorted(values)
+    if not items:
+        raise AnalysisError("median() of empty data")
+    n = len(items)
+    mid = n // 2
+    if n % 2:
+        return float(items[mid])
+    return (items[mid - 1] + items[mid]) / 2.0
+
+
+def quantile(values: Iterable[float], q: float) -> float:
+    """Linear-interpolation quantile, q in [0, 1]."""
+    if not 0 <= q <= 1:
+        raise AnalysisError("quantile q must be within [0, 1]")
+    items = sorted(values)
+    if not items:
+        raise AnalysisError("quantile() of empty data")
+    if len(items) == 1:
+        return float(items[0])
+    position = q * (len(items) - 1)
+    low = int(math.floor(position))
+    high = int(math.ceil(position))
+    if low == high:
+        return float(items[low])
+    fraction = position - low
+    return items[low] * (1 - fraction) + items[high] * fraction
+
+
+def ecdf(values: Iterable[float]) -> List[Tuple[float, float]]:
+    """Empirical CDF as (value, cumulative fraction) steps."""
+    items = sorted(values)
+    if not items:
+        raise AnalysisError("ecdf() of empty data")
+    n = len(items)
+    out: List[Tuple[float, float]] = []
+    for index, value in enumerate(items, start=1):
+        if out and out[-1][0] == value:
+            out[-1] = (value, index / n)
+        else:
+            out.append((value, index / n))
+    return out
+
+
+def ecdf_at(values: Sequence[float], threshold: float) -> float:
+    """Fraction of values <= threshold."""
+    items = list(values)
+    if not items:
+        raise AnalysisError("ecdf_at() of empty data")
+    return sum(1 for v in items if v <= threshold) / len(items)
+
+
+def pearson(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Pearson correlation coefficient (0.0 for degenerate input)."""
+    if len(xs) != len(ys):
+        raise AnalysisError("pearson() needs equal-length sequences")
+    n = len(xs)
+    if n < 2:
+        raise AnalysisError("pearson() needs at least two points")
+    mx = sum(xs) / n
+    my = sum(ys) / n
+    cov = sum((x - mx) * (y - my) for x, y in zip(xs, ys))
+    vx = sum((x - mx) ** 2 for x in xs)
+    vy = sum((y - my) ** 2 for y in ys)
+    if vx == 0 or vy == 0:
+        return 0.0
+    return cov / math.sqrt(vx * vy)

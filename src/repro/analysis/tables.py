@@ -1,0 +1,84 @@
+"""Table 1: detected cookiewalls per vantage point and their splits."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.measure.crawl import CrawlResult
+from repro.urlkit import public_suffix
+from repro.vantage import VANTAGE_POINTS, VP_ORDER
+from repro.webgen.world import World
+
+
+@dataclass
+class Table1Row:
+    vp: str
+    cookiewalls: int
+    toplist: int
+    cctld: int
+    language: int
+
+
+@dataclass
+class Table1:
+    rows: List[Table1Row] = field(default_factory=list)
+    total_unique_walls: int = 0
+
+    def row(self, vp: str) -> Table1Row:
+        for row in self.rows:
+            if row.vp == vp:
+                return row
+        raise KeyError(vp)
+
+    def render(self) -> str:
+        header = (
+            f"{'VP':<15}{'Cookiewalls':>12}{'Toplist':>9}"
+            f"{'ccTLD':>7}{'Language':>10}"
+        )
+        lines = [header, "-" * len(header)]
+        for row in self.rows:
+            vp = VANTAGE_POINTS[row.vp]
+            lines.append(
+                f"{vp.city:<15}{row.cookiewalls:>12}{row.toplist:>9}"
+                f"{row.cctld:>7}{row.language:>10}"
+            )
+        lines.append("-" * len(header))
+        lines.append(f"Unique cookiewall websites: {self.total_unique_walls}")
+        return "\n".join(lines)
+
+
+def compute_table1(world: World, crawl: CrawlResult) -> Table1:
+    """Build Table 1 from detection records (measured, not ground truth).
+
+    For each VP: the number of detected cookiewalls, how many of those
+    are on the VP country's own toplist, how many use the country's
+    ccTLD, and how many are in the country's most common language
+    (per the crawl's CLD3-style detection).
+    """
+    table = Table1()
+    all_wall_domains = set()
+    for vp_code in VP_ORDER:
+        vp = VANTAGE_POINTS[vp_code]
+        records = [r for r in crawl.by_vp(vp_code) if r.is_cookiewall]
+        domains = {r.domain for r in records}
+        all_wall_domains.update(domains)
+        toplist = world.toplists.get(vp.country_code)
+        on_toplist = sum(1 for d in domains if toplist is not None and d in toplist)
+        cctld = sum(
+            1 for d in domains if public_suffix(d) == vp.cctld
+        ) if vp.cctld else 0
+        language = sum(
+            1 for r in records if r.detected_language == vp.language
+        )
+        table.rows.append(
+            Table1Row(
+                vp=vp_code,
+                cookiewalls=len(domains),
+                toplist=on_toplist,
+                cctld=cctld,
+                language=language,
+            )
+        )
+    table.total_unique_walls = len(all_wall_domains)
+    return table

@@ -1,0 +1,39 @@
+"""BannerClick, extended for cookiewall detection (the paper's tool).
+
+The pipeline mirrors §3 of the paper:
+
+1. detect cookie banners via a multi-language word corpus, searching
+   the main document, iframes, and shadow DOMs (using the
+   clone-children-into-body workaround for shadow roots);
+2. locate accept/reject buttons inside the banner;
+3. classify the banner as a *cookiewall* when its text (extracted with
+   the Soup API) contains subscription words or currency–amount
+   combinations;
+4. optionally interact (click accept / reject).
+"""
+
+from repro.bannerclick.corpus import (
+    ACCEPT_WORDS,
+    BANNER_WORDS,
+    COOKIEWALL_WORDS,
+    CURRENCY_TOKENS,
+    REJECT_WORDS,
+    find_currency_amounts,
+    has_cookiewall_words,
+)
+from repro.bannerclick.detect import BannerClick, BannerDetection
+from repro.bannerclick.interact import accept_banner, reject_banner
+
+__all__ = [
+    "BannerClick",
+    "BannerDetection",
+    "accept_banner",
+    "reject_banner",
+    "BANNER_WORDS",
+    "ACCEPT_WORDS",
+    "REJECT_WORDS",
+    "COOKIEWALL_WORDS",
+    "CURRENCY_TOKENS",
+    "find_currency_amounts",
+    "has_cookiewall_words",
+]

@@ -1,0 +1,105 @@
+"""Word corpora for banner detection and cookiewall classification.
+
+The cookiewall corpus is the paper's exact list (§3): subscription
+words *abo, abonnent, abbonamento, abonne, abonné, ad-free, subscribe*
+plus the top-10 currencies and the VP-country currencies (EUR, USD,
+CHF, AUD, GBP, Rs, BRL, CNY, ZAR), matched in payment-style
+combinations (``$3.99``, ``3.99$``, ``3.99 $`` …).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Tuple
+
+#: Words whose presence marks an element as consent-banner-ish.
+#: Multi-language, matched case-insensitively as substrings.
+BANNER_WORDS: Tuple[str, ...] = (
+    # cookies / consent
+    "cookie", "cookies", "consent", "einwilligung", "zustimmen",
+    "datenschutz", "kakor", "samtycke", "privacy", "privatsphäre",
+    "gdpr", "dsgvo", "rgpd",
+    # ads / tracking vocabulary used by walls
+    "werbung", "tracking", "werbefrei", "ads", "ad-free", "advertising",
+    "pubblicità", "publicité", "publicidad", "advertenties", "annoncer",
+    "annonser", "anúncios", "izikhangiso",
+)
+
+#: Words on buttons that give consent.
+ACCEPT_WORDS: Tuple[str, ...] = (
+    "accept", "agree", "allow all", "got it",
+    "akzeptieren", "zustimmen", "einverstanden", "weiterlesen",
+    "accetta", "godkänn", "accepter", "aceptar", "aceitar",
+    "accepteren", "vuma",
+)
+
+#: Words on buttons that decline consent.
+REJECT_WORDS: Tuple[str, ...] = (
+    "reject", "decline", "refuse", "deny",
+    "ablehnen", "rifiuta", "avvisa", "refuser", "rechazar", "rejeitar",
+    "weigeren", "afvis", "yala",
+)
+
+#: The paper's cookiewall subscription words (§3), matched at word
+#: starts so that e.g. "Pur-Abo" and "abonnement" hit while "about"
+#: does not ("abo" requires a full-word match).
+COOKIEWALL_WORDS: Tuple[str, ...] = (
+    "abo", "abonnent", "abbonamento", "abonne", "abonné",
+    "ad-free", "subscribe",
+)
+
+_WALL_WORD_RE = re.compile(
+    r"(?<!\w)(?:"
+    r"abo(?![\w])"          # exact word "abo"
+    r"|abonnent\w*"
+    r"|abbonamento"
+    r"|abonn[eé]\w*"
+    r"|ad-free"
+    r"|subscri\w+"
+    r")",
+    re.IGNORECASE,
+)
+
+#: Currency words and symbols (paper footnote 1).
+CURRENCY_TOKENS: Tuple[str, ...] = (
+    "EUR", "USD", "CHF", "AUD", "GBP", "Rs", "BRL", "CNY", "ZAR",
+    "€", "$", "£", "AU$", "R$",
+)
+
+_AMOUNT = r"\d{1,4}(?:[.,]\d{2})?"
+_TOKENS = "|".join(re.escape(t) for t in CURRENCY_TOKENS)
+_CURRENCY_RE = re.compile(
+    rf"(?:(?:{_TOKENS})\s?{_AMOUNT})|(?:{_AMOUNT}\s?(?:{_TOKENS}))"
+)
+
+
+def has_banner_words(text: str) -> bool:
+    """True when *text* contains any banner-corpus word."""
+    lowered = text.lower()
+    return any(word in lowered for word in BANNER_WORDS)
+
+
+def has_accept_words(text: str) -> bool:
+    lowered = text.lower()
+    return any(word in lowered for word in ACCEPT_WORDS)
+
+
+def has_reject_words(text: str) -> bool:
+    lowered = text.lower()
+    return any(word in lowered for word in REJECT_WORDS)
+
+
+def has_cookiewall_words(text: str) -> bool:
+    """True when a subscription word from the paper's corpus appears."""
+    return _WALL_WORD_RE.search(text) is not None
+
+
+def find_currency_amounts(text: str) -> List[str]:
+    """All payment-style currency–amount combinations in *text*.
+
+    >>> find_currency_amounts("nur 2,99 € im Monat")
+    ['2,99 €']
+    >>> find_currency_amounts("pay $3.99 or 3.99$ or 3.99 $")
+    ['$3.99', '3.99$', '3.99 $']
+    """
+    return _CURRENCY_RE.findall(text)

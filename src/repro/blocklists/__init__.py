@@ -1,0 +1,5 @@
+"""Tracking-cookie classification via a justdomains-style blocklist."""
+
+from repro.blocklists.justdomains import JustDomainsList, builtin_list
+
+__all__ = ["JustDomainsList", "builtin_list"]

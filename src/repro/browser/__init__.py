@@ -1,0 +1,32 @@
+"""A headless browser simulator with the quirks the paper fights.
+
+The browser fetches documents over :mod:`repro.netsim`, parses them
+with :mod:`repro.soup`, loads subresources (scripts, images, iframes),
+executes *DOM effects* returned by script responses (the stand-in for
+third-party JavaScript such as CMP/SMP loaders and ad scripts), applies
+extension hooks (ad blocking), and maintains an RFC 6265 cookie jar.
+
+Key fidelity points:
+
+- CSS/XPath lookups through :class:`WebDriver` cannot see into shadow
+  roots or iframes; ``element.shadow_root`` is None for closed roots —
+  forcing the BannerClick clone-into-body workaround from paper §3.
+- Consent and subscription state are ordinary cookies; servers render
+  differently on subsequent requests, so cookie counts *emerge* from
+  actually reloading pages after interaction.
+"""
+
+from repro.browser.core import Browser, ClickOutcome
+from repro.browser.extensions import Extension
+from repro.browser.page import Page
+from repro.browser.webdriver import By, WebDriver, WebElement
+
+__all__ = [
+    "Browser",
+    "ClickOutcome",
+    "Page",
+    "Extension",
+    "WebDriver",
+    "WebElement",
+    "By",
+]

@@ -1,0 +1,28 @@
+"""Browser extension hooks (the uBlock Origin attachment point)."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.httpkit import Request
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.browser.page import Page
+
+
+class Extension:
+    """Base class for browser extensions.
+
+    Extensions see every subresource request before it is sent
+    (:meth:`should_block`) and the finished DOM afterwards
+    (:meth:`on_document_ready`, used for cosmetic filtering).
+    """
+
+    name = "extension"
+
+    def should_block(self, request: Request, page: "Page") -> bool:
+        """Return True to cancel the request (network filtering)."""
+        return False
+
+    def on_document_ready(self, page: "Page") -> None:
+        """Inspect/modify the DOM after loading (cosmetic filtering)."""

@@ -1,0 +1,76 @@
+"""The Page object: one loaded top-level document plus its frames."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional
+
+from repro.dom import Document, Element
+from repro.httpkit import Request
+from repro.urlkit import URL
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.browser.core import Browser
+
+
+class Page:
+    """A loaded page: DOM, frames, request log, and diagnostic flags."""
+
+    def __init__(self, browser: "Browser", url: URL, document: Document) -> None:
+        self.browser = browser
+        self.url = url
+        self.document = document
+        #: Every request issued on behalf of this page (incl. blocked).
+        self.requests: List[Request] = []
+        #: Requests an extension blocked before they hit the network.
+        self.blocked_requests: List[Request] = []
+        #: Requests that failed (DNS error etc.).
+        self.failed_requests: List[Request] = []
+        #: Diagnostic flags set by effects (anti-adblock walls etc.).
+        self.flags: Dict[str, object] = {}
+        #: True when a script locked body scrolling.
+        self.scroll_locked = False
+        self.status: int = 200
+        #: Resource elements already handled by the load pipeline.
+        self.processed_elements: set = set()
+
+    # ------------------------------------------------------------------
+    # Frame access
+    # ------------------------------------------------------------------
+    def iframes(self) -> List[Element]:
+        """All iframe elements in the top-level document (pierces shadow)."""
+        return [
+            el
+            for el in self.document.elements(include_shadow=True)
+            if el.tag == "iframe"
+        ]
+
+    def all_documents(self) -> Iterator[Document]:
+        """The main document plus every loaded frame document (recursive)."""
+        yield self.document
+        stack = [self.document]
+        while stack:
+            doc = stack.pop()
+            for el in doc.elements(include_shadow=True):
+                if el.tag == "iframe" and el.content_document is not None:
+                    yield el.content_document
+                    stack.append(el.content_document)
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+    @property
+    def site(self) -> Optional[str]:
+        return self.url.site
+
+    def visible_text(self) -> str:
+        """All human-visible text, piercing shadow roots and frames."""
+        body = self.document.body
+        if body is None:
+            return ""
+        return body.text_content(pierce=True)
+
+    def is_scrollable(self) -> bool:
+        return not self.scroll_locked
+
+    def __repr__(self) -> str:
+        return f"<Page {self.url} requests={len(self.requests)}>"

@@ -1,0 +1,49 @@
+"""Browser profile persistence (OpenWPM stateful-crawl support).
+
+OpenWPM can run *stateful* crawls where the browser profile (cookies,
+storage) persists across visits and restarts.  This module serialises
+a cookie jar to JSON and back, giving the reproduction the same
+capability — used e.g. to carry an SMP login across crawler sessions.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+from typing import Union
+
+from repro.errors import ParseError
+from repro.httpkit import Cookie, CookieJar
+
+_FORMAT_VERSION = 1
+
+
+def save_profile(jar: CookieJar, path: Union[str, Path]) -> int:
+    """Write the jar to *path*; returns the number of cookies saved."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    cookies = [asdict(cookie) for cookie in jar.all_cookies()]
+    payload = {"version": _FORMAT_VERSION, "cookies": cookies}
+    path.write_text(
+        json.dumps(payload, ensure_ascii=False, indent=1), encoding="utf-8"
+    )
+    return len(cookies)
+
+
+def load_profile(path: Union[str, Path]) -> CookieJar:
+    """Read a jar back from *path*."""
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise ParseError(f"{path}: not a profile file: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("version") != _FORMAT_VERSION:
+        raise ParseError(f"{path}: unsupported profile format")
+    jar = CookieJar()
+    for entry in payload.get("cookies", []):
+        try:
+            jar.set_cookie(Cookie(**entry))
+        except TypeError as exc:
+            raise ParseError(f"{path}: malformed cookie entry: {exc}") from exc
+    return jar

@@ -1,0 +1,149 @@
+"""Text "screenshots" of loaded pages.
+
+The paper's accuracy check worked from screenshots ("we manually check
+their screenshots", §3) and Appendix B shows wall/banner screenshots.
+This module renders a page's visible structure as text art: headings,
+paragraphs, and — boxed — any consent dialog, with its buttons.  The
+random-audit tooling saves these for human inspection.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.browser.page import Page
+from repro.dom import Document, Element, Node, ShadowRoot, Text
+
+_WIDTH = 64
+_BUTTON_TAGS = frozenset({"button", "a"})
+
+
+def _wrap(text: str, width: int) -> List[str]:
+    words = text.split()
+    lines: List[str] = []
+    current: List[str] = []
+    length = 0
+    for word in words:
+        extra = len(word) + (1 if current else 0)
+        if length + extra > width and current:
+            lines.append(" ".join(current))
+            current = [word]
+            length = len(word)
+        else:
+            current.append(word)
+            length += extra
+    if current:
+        lines.append(" ".join(current))
+    return lines or [""]
+
+
+def _boxed(lines: List[str], width: int) -> List[str]:
+    out = ["+" + "-" * (width + 2) + "+"]
+    for line in lines:
+        out.append(f"| {line:<{width}} |")
+    out.append("+" + "-" * (width + 2) + "+")
+    return out
+
+
+class _Renderer:
+    def __init__(self, width: int = _WIDTH) -> None:
+        self.width = width
+        self.lines: List[str] = []
+
+    def render_page(self, page: Page) -> str:
+        self.lines.append(f"URL: {page.url}")
+        self.lines.append(f"TITLE: {page.document.title}")
+        self.lines.append("=" * (self.width + 4))
+        body = page.document.body
+        if body is not None:
+            self._walk(body)
+        if page.scroll_locked:
+            self.lines.append("[page scrolling is locked]")
+        return "\n".join(self.lines)
+
+    # ------------------------------------------------------------------
+    def _walk(self, node: Node) -> None:
+        for child in node.children:
+            if isinstance(child, Text):
+                continue  # text is emitted by its block container
+            if not isinstance(child, Element):
+                continue
+            self._element(child)
+
+    def _element(self, element: Element) -> None:
+        if not element.is_visible():
+            return
+        tag = element.tag
+        if tag in ("script", "style", "link", "meta"):
+            return
+        if self._is_dialog(element):
+            self._dialog(element)
+            return
+        if tag == "iframe":
+            if element.content_document is not None:
+                self._frame(element)
+            return
+        if tag in ("h1", "h2", "h3"):
+            text = element.text_content()
+            if text:
+                self.lines.append(text.upper())
+                self.lines.append("-" * min(len(text), self.width))
+            return
+        if tag == "p":
+            text = element.text_content()
+            if text:
+                self.lines.extend(_wrap(text, self.width))
+            return
+        if tag in _BUTTON_TAGS:
+            label = element.text_content()
+            if label:
+                self.lines.append(f"  [ {label} ]")
+            return
+        shadow = element.attached_shadow_root
+        if shadow is not None:
+            self._walk(shadow)
+        self._walk(element)
+
+    def _is_dialog(self, element: Element) -> bool:
+        if element.has_attribute("data-banner"):
+            return True
+        return element.get_attribute("role") == "dialog"
+
+    def _dialog(self, element: Element) -> None:
+        inner = _Renderer(self.width - 4)
+        if element.tag == "iframe" and element.content_document is not None:
+            body = element.content_document.body
+            if body is not None:
+                inner._walk(body)
+        else:
+            shadow = element.attached_shadow_root
+            if shadow is not None:
+                inner._walk(shadow)
+            inner._walk(element)
+        self.lines.extend(_boxed(inner.lines, self.width - 4))
+
+    def _frame(self, element: Element) -> None:
+        body = (
+            element.content_document.body
+            if element.content_document is not None
+            else None
+        )
+        if body is not None:
+            self._walk(body)
+
+
+def screenshot(page: Page, *, width: int = _WIDTH) -> str:
+    """Render *page* as a text screenshot."""
+    return _Renderer(width=width).render_page(page)
+
+
+def screenshot_banner_only(page: Page, *, width: int = _WIDTH) -> Optional[str]:
+    """Just the consent dialog's box, or None when no dialog is shown."""
+    full = screenshot(page, width=width)
+    lines = full.splitlines()
+    try:
+        start = next(i for i, l in enumerate(lines) if l.startswith("+--"))
+    except StopIteration:
+        return None
+    end = max(i for i, l in enumerate(lines) if l.startswith("+--"))
+    return "\n".join(lines[start:end + 1])

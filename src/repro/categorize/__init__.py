@@ -1,0 +1,5 @@
+"""Website categorisation (FortiGuard web filter stand-in, paper §4.1)."""
+
+from repro.categorize.db import CATEGORIES, WebFilterDB
+
+__all__ = ["CATEGORIES", "WebFilterDB"]

@@ -1,0 +1,205 @@
+"""Command-line interface: ``repro-cookiewalls``.
+
+Examples
+--------
+List available experiments::
+
+    repro-cookiewalls list
+
+Run one experiment on a small world and print the artefact::
+
+    repro-cookiewalls run table1 --scale 0.05
+
+Show the generated world's ground-truth statistics::
+
+    repro-cookiewalls stats --scale 0.05
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.experiments import EXPERIMENTS, ExperimentContext, run_experiment
+from repro.webgen import build_world
+
+
+def _add_world_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scale", type=float, default=0.05,
+        help="world scale (1.0 = the paper's 45k-site web; default 0.05)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=2023, help="world seed (default 2023)"
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-cookiewalls",
+        description="Reproduce 'Thou Shalt Not Reject' (IMC 2023) "
+                    "on a synthetic web.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run one or more experiments")
+    run.add_argument(
+        "experiments", nargs="+",
+        help=f"experiment ids (or 'all'); known: {', '.join(sorted(EXPERIMENTS))}",
+    )
+    _add_world_args(run)
+    run.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+
+    sub.add_parser("list", help="list available experiments")
+
+    stats = sub.add_parser("stats", help="print world ground-truth stats")
+    _add_world_args(stats)
+
+    crawl = sub.add_parser(
+        "crawl", help="run a detection crawl and save JSONL records"
+    )
+    _add_world_args(crawl)
+    crawl.add_argument("--vp", action="append", default=None,
+                       help="vantage point code (repeatable; default: all)")
+    crawl.add_argument("--out", required=True, help="output JSONL path")
+
+    report = sub.add_parser(
+        "report", help="summarise saved crawl records (walls per VP)"
+    )
+    report.add_argument("records", help="JSONL produced by 'crawl'")
+
+    export = sub.add_parser(
+        "export-toplists", help="write the country toplists as CrUX-style CSV"
+    )
+    _add_world_args(export)
+    export.add_argument("--dir", required=True, help="output directory")
+
+    verify = sub.add_parser(
+        "verify",
+        help="run every experiment and compare against the paper's numbers",
+    )
+    _add_world_args(verify)
+    verify.add_argument(
+        "--markdown", action="store_true",
+        help="emit the EXPERIMENTS.md-style markdown table",
+    )
+
+    validate = sub.add_parser(
+        "validate", help="check the generated world's structural invariants"
+    )
+    _add_world_args(validate)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.command == "list":
+        for experiment_id in sorted(EXPERIMENTS):
+            print(experiment_id)
+        return 0
+
+    if args.command == "stats":
+        world = build_world(scale=args.scale, seed=args.seed)
+        for key, value in world.stats().items():
+            print(f"{key}: {value}")
+        return 0
+
+    if args.command == "crawl":
+        from repro.measure import Crawler, save_records
+
+        world = build_world(scale=args.scale, seed=args.seed)
+        crawler = Crawler(world)
+        result = crawler.crawl_all(args.vp)
+        count = save_records(result.records, args.out)
+        walls = len(result.cookiewall_domains())
+        print(f"wrote {count} records to {args.out} "
+              f"({walls} unique cookiewall domains)")
+        return 0
+
+    if args.command == "report":
+        from collections import Counter
+
+        from repro.measure import load_records
+        from repro.measure.records import VisitRecord
+
+        records = [
+            r for r in load_records(args.records)
+            if isinstance(r, VisitRecord)
+        ]
+        per_vp = Counter(r.vp for r in records if r.is_cookiewall)
+        banners = Counter(r.vp for r in records if r.banner_found)
+        print(f"records: {len(records)}")
+        for vp in sorted({r.vp for r in records}):
+            print(f"  {vp}: {banners.get(vp, 0)} banners, "
+                  f"{per_vp.get(vp, 0)} cookiewalls")
+        unique_walls = len({r.domain for r in records if r.is_cookiewall})
+        print(f"unique cookiewall domains: {unique_walls}")
+        return 0
+
+    if args.command == "export-toplists":
+        from repro.webgen.crux import export_all
+
+        world = build_world(scale=args.scale, seed=args.seed)
+        paths = export_all(world.toplists, args.dir)
+        for path in paths:
+            print(path)
+        return 0
+
+    if args.command == "verify":
+        from repro.analysis.papercheck import compare_with_paper
+
+        world = build_world(scale=args.scale, seed=args.seed)
+        context = ExperimentContext(world)
+        results = [
+            run_experiment(e, context=context) for e in sorted(EXPERIMENTS)
+        ]
+        comparison = compare_with_paper(results)
+        print(
+            comparison.render_markdown()
+            if args.markdown
+            else comparison.render_text()
+        )
+        return 0 if comparison.holding == comparison.total else 1
+
+    if args.command == "validate":
+        from repro.webgen.validate import validate_world
+
+        world = build_world(scale=args.scale, seed=args.seed)
+        report = validate_world(world)
+        print(report.render())
+        return 0 if report.ok else 1
+
+    # run
+    requested = list(args.experiments)
+    if requested == ["all"]:
+        requested = sorted(EXPERIMENTS)
+    unknown = [e for e in requested if e not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    world = build_world(scale=args.scale, seed=args.seed)
+    context = ExperimentContext(world)
+    results = [
+        run_experiment(experiment_id, context=context)
+        for experiment_id in requested
+    ]
+    if args.json:
+        print(json.dumps(
+            {r.experiment_id: r.data for r in results},
+            indent=2, default=str,
+        ))
+    else:
+        for result in results:
+            print("=" * 72)
+            print(result.rendered)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,11 @@
+"""Consent-string handling (IAB TCF-style).
+
+Real CMP accept buttons persist consent as a TCF string in a cookie
+(``euconsent-v2``); BannerClick's ecosystem checks those cookies.  This
+package provides a simplified-but-structural TC string codec and the
+glue that writes one on accept clicks.
+"""
+
+from repro.consent.tcf import ConsentRecord, decode_tc_string, encode_tc_string
+
+__all__ = ["ConsentRecord", "encode_tc_string", "decode_tc_string"]

@@ -1,0 +1,40 @@
+"""A lightweight DOM with shadow roots, iframes, CSS selectors and XPath.
+
+This package models exactly the parts of the browser DOM the paper's
+tooling has to fight with:
+
+- regular element trees (:class:`Element`, :class:`Text`, :class:`Document`),
+- **open and closed shadow roots** (:class:`ShadowRoot`) which CSS/XPath
+  lookups cannot pierce — the limitation that motivates BannerClick's
+  clone-into-body workaround (paper §3),
+- **iframes** whose content is a separate :class:`Document`,
+- a CSS selector subset and a tiny XPath engine
+  (:mod:`repro.dom.selector`, :mod:`repro.dom.xpath`),
+- HTML serialisation including declarative shadow DOM
+  (:mod:`repro.dom.serialize`).
+"""
+
+from repro.dom.node import (
+    Comment,
+    Document,
+    Element,
+    Node,
+    ShadowRoot,
+    Text,
+)
+from repro.dom.selector import matches_selector, query_selector_all
+from repro.dom.serialize import to_html
+from repro.dom.xpath import xpath_all
+
+__all__ = [
+    "Node",
+    "Element",
+    "Text",
+    "Comment",
+    "Document",
+    "ShadowRoot",
+    "query_selector_all",
+    "matches_selector",
+    "xpath_all",
+    "to_html",
+]

@@ -1,0 +1,99 @@
+"""HTML serialisation, including declarative shadow DOM and srcdoc iframes.
+
+Shadow roots are emitted as ``<template shadowrootmode="...">`` children
+of their host (the declarative shadow DOM syntax), and iframe content
+documents as a ``srcdoc`` attribute.  :mod:`repro.soup` understands both,
+so ``parse(to_html(doc))`` reconstructs the full tree including shadow
+and frame boundaries.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.dom.node import (
+    VOID_ELEMENTS,
+    Comment,
+    Document,
+    Element,
+    Node,
+    ShadowRoot,
+    Text,
+)
+
+_ESCAPES = {"&": "&amp;", "<": "&lt;", ">": "&gt;"}
+_ATTR_ESCAPES = {"&": "&amp;", "<": "&lt;", ">": "&gt;", '"': "&quot;"}
+
+
+def escape_text(text: str) -> str:
+    """Escape text-node content for HTML."""
+    for raw, safe in _ESCAPES.items():
+        text = text.replace(raw, safe)
+    return text
+
+
+def escape_attr(value: str) -> str:
+    """Escape an attribute value for double-quoted HTML attributes."""
+    for raw, safe in _ATTR_ESCAPES.items():
+        value = value.replace(raw, safe)
+    return value
+
+
+def to_html(node: Node) -> str:
+    """Serialise *node* (and its subtree) to an HTML string."""
+    parts: List[str] = []
+    _serialize(node, parts)
+    return "".join(parts)
+
+
+def _serialize(node: Node, out: List[str]) -> None:
+    if isinstance(node, Document):
+        out.append("<!DOCTYPE html>")
+        for child in node.children:
+            _serialize(child, out)
+        return
+    if isinstance(node, Text):
+        out.append(escape_text(node.data))
+        return
+    if isinstance(node, Comment):
+        out.append(f"<!--{node.data}-->")
+        return
+    if isinstance(node, ShadowRoot):
+        out.append(f'<template shadowrootmode="{node.mode}">')
+        for child in node.children:
+            _serialize(child, out)
+        out.append("</template>")
+        return
+    assert isinstance(node, Element)
+    _serialize_element(node, out)
+
+
+def _serialize_element(element: Element, out: List[str]) -> None:
+    out.append(f"<{element.tag}")
+    attrs = dict(element.attrs)
+    if element.tag == "iframe" and element.content_document is not None:
+        attrs["srcdoc"] = _document_to_srcdoc(element.content_document)
+    for name, value in attrs.items():
+        if value == "":
+            out.append(f" {name}")
+        else:
+            out.append(f' {name}="{escape_attr(value)}"')
+    out.append(">")
+    if element.tag in VOID_ELEMENTS:
+        return
+    shadow = element.attached_shadow_root
+    if shadow is not None:
+        _serialize(shadow, out)
+    for child in element.children:
+        _serialize(child, out)
+    out.append(f"</{element.tag}>")
+
+
+def _document_to_srcdoc(document: Document) -> str:
+    inner: List[str] = []
+    for child in document.children:
+        _serialize(child, inner)
+    html = "".join(inner)
+    if html.startswith("<!DOCTYPE html>"):
+        html = html[len("<!DOCTYPE html>"):]
+    return html

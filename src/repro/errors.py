@@ -1,0 +1,89 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every exception raised by this library derives from :class:`ReproError`,
+so callers can catch a single base class.  Subsystems define narrower
+exceptions here (rather than in their own modules) to avoid circular
+imports between substrates.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class URLError(ReproError):
+    """An URL could not be parsed or is structurally invalid."""
+
+
+class DOMError(ReproError):
+    """An illegal DOM operation was attempted (e.g. cycle creation)."""
+
+
+class SelectorError(DOMError):
+    """A CSS selector or XPath expression could not be parsed."""
+
+
+class ClosedShadowRootError(DOMError):
+    """Script-level access to a closed shadow root was attempted.
+
+    Mirrors the behaviour of real browsers where ``element.shadowRoot``
+    returns ``null`` for closed shadow roots.
+    """
+
+
+class ParseError(ReproError):
+    """Input (HTML, filter list, cookie header, ...) could not be parsed."""
+
+
+class CookieError(ReproError):
+    """A cookie is malformed or violates RFC 6265 constraints."""
+
+
+class NetworkError(ReproError):
+    """Base class for simulated network failures."""
+
+
+class DNSError(NetworkError):
+    """The simulated resolver has no record for a host."""
+
+
+class ConnectionRefused(NetworkError):
+    """The target host exists but refuses connections (unreachable site)."""
+
+
+class NavigationError(ReproError):
+    """The browser failed to navigate to a page."""
+
+
+class NoSuchElementError(ReproError):
+    """A WebDriver lookup matched no element (Selenium parity)."""
+
+
+class ElementNotInteractableError(ReproError):
+    """The element exists but cannot be clicked (hidden / detached)."""
+
+
+class BotDetectedError(NavigationError):
+    """The site identified the crawler as a bot and blocked the visit."""
+
+
+class FilterSyntaxError(ParseError):
+    """An ad-block filter line could not be parsed."""
+
+
+class AuthenticationError(ReproError):
+    """SMP login failed (wrong credentials or no subscription)."""
+
+
+class WorldGenerationError(ReproError):
+    """The synthetic web generator was misconfigured."""
+
+
+class MeasurementError(ReproError):
+    """A crawl/measurement could not be carried out."""
+
+
+class AnalysisError(ReproError):
+    """An analysis step received inconsistent or empty input."""

@@ -1,0 +1,15 @@
+"""Experiment drivers: one per table/figure of the paper.
+
+Use :func:`repro.experiments.runner.run_experiment` or the CLI
+(``repro-cookiewalls run table1``).
+"""
+
+from repro.experiments.context import ExperimentContext
+from repro.experiments.runner import EXPERIMENTS, ExperimentResult, run_experiment
+
+__all__ = [
+    "ExperimentContext",
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "run_experiment",
+]

@@ -1,0 +1,154 @@
+"""Shared, cached measurement state for the experiment drivers.
+
+The detection crawl (8 VPs × 45k sites) and the cookie measurements
+are expensive; every experiment that needs them shares one
+:class:`ExperimentContext` so the work happens once (the paper
+likewise derives all analyses from one crawl dataset).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence
+
+from repro.measure.crawl import Crawler, CrawlResult
+from repro.measure.records import CookieMeasurement, UBlockRecord, VisitRecord
+from repro.vantage import VANTAGE_POINTS
+from repro.webgen.world import World
+
+_ACCOUNT_EMAIL = "measurement@repro.example"
+_ACCOUNT_PASSWORD = "one-month-subscription"
+
+
+class ExperimentContext:
+    """Lazily computed, cached measurement products."""
+
+    def __init__(
+        self,
+        world: World,
+        *,
+        crawler: Optional[Crawler] = None,
+        repeats: int = 5,
+        vps: Optional[Sequence[str]] = None,
+        sample_seed: int = 1234,
+    ) -> None:
+        self.world = world
+        self.crawler = crawler or Crawler(world)
+        self.repeats = repeats
+        self.vps = list(vps) if vps is not None else list(VANTAGE_POINTS)
+        self.sample_seed = sample_seed
+        self._detection_crawl: Optional[CrawlResult] = None
+        self._wall_measurements: Optional[List[CookieMeasurement]] = None
+        self._regular_measurements: Optional[List[CookieMeasurement]] = None
+        self._cp_accept: Optional[List[CookieMeasurement]] = None
+        self._cp_subscription: Optional[List[CookieMeasurement]] = None
+        self._ublock: Optional[List[UBlockRecord]] = None
+        self._account_ready = False
+
+    # ------------------------------------------------------------------
+    # Detection crawl products
+    # ------------------------------------------------------------------
+    def detection_crawl(self) -> CrawlResult:
+        if self._detection_crawl is None:
+            self._detection_crawl = self.crawler.crawl_all(self.vps)
+        return self._detection_crawl
+
+    def wall_records_de(self) -> List[VisitRecord]:
+        return self.detection_crawl().cookiewalls("DE")
+
+    def detected_wall_domains(self) -> List[str]:
+        """Unique domains flagged as cookiewalls from any VP."""
+        return self.detection_crawl().cookiewall_domains()
+
+    def verified_wall_domains(self) -> List[str]:
+        """Detections surviving the paper's manual verification step.
+
+        The paper manually checked all 285 detections and discarded 5
+        false positives (§3).  The generator's ground truth plays the
+        human verifier here.
+        """
+        return [
+            d for d in self.detected_wall_domains()
+            if d in self.world.wall_domains
+        ]
+
+    def verified_wall_records_de(self) -> List[VisitRecord]:
+        verified = set(self.verified_wall_domains())
+        return [r for r in self.wall_records_de() if r.domain in verified]
+
+    # ------------------------------------------------------------------
+    # Cookie measurements (§4.3)
+    # ------------------------------------------------------------------
+    def wall_measurements(self) -> List[CookieMeasurement]:
+        if self._wall_measurements is None:
+            self._wall_measurements = [
+                self.crawler.measure_accept_cookies(
+                    "DE", domain, repeats=self.repeats
+                )
+                for domain in self.verified_wall_domains()
+            ]
+        return self._wall_measurements
+
+    def regular_measurements(self) -> List[CookieMeasurement]:
+        """Random regular-banner sites, one per verified wall (§4.3)."""
+        if self._regular_measurements is None:
+            pool = self.detection_crawl().regular_banner_domains("DE")
+            rng = random.Random(self.sample_seed)
+            count = min(len(self.verified_wall_domains()), len(pool))
+            sample = rng.sample(pool, count)
+            self._regular_measurements = [
+                self.crawler.measure_accept_cookies(
+                    "DE", domain, repeats=self.repeats
+                )
+                for domain in sample
+            ]
+        return self._regular_measurements
+
+    # ------------------------------------------------------------------
+    # contentpass measurements (§4.4)
+    # ------------------------------------------------------------------
+    def _ensure_account(self) -> None:
+        if not self._account_ready:
+            platform = self.world.platforms["contentpass"]
+            if _ACCOUNT_EMAIL not in platform.accounts:
+                platform.create_account(_ACCOUNT_EMAIL, _ACCOUNT_PASSWORD)
+            platform.purchase_subscription(_ACCOUNT_EMAIL)
+            self._account_ready = True
+
+    def contentpass_accept(self) -> List[CookieMeasurement]:
+        if self._cp_accept is None:
+            partners = self.world.partner_domains("contentpass")
+            self._cp_accept = [
+                self.crawler.measure_accept_cookies(
+                    "DE", domain, repeats=self.repeats
+                )
+                for domain in partners
+            ]
+        return self._cp_accept
+
+    def contentpass_subscription(self) -> List[CookieMeasurement]:
+        if self._cp_subscription is None:
+            self._ensure_account()
+            platform = self.world.platforms["contentpass"]
+            self._cp_subscription = [
+                self.crawler.measure_subscription_cookies(
+                    "DE", domain, platform,
+                    _ACCOUNT_EMAIL, _ACCOUNT_PASSWORD,
+                    repeats=self.repeats,
+                )
+                for domain in platform.partner_domains
+            ]
+        return self._cp_subscription
+
+    # ------------------------------------------------------------------
+    # uBlock bypass (§4.5)
+    # ------------------------------------------------------------------
+    def ublock_records(self) -> List[UBlockRecord]:
+        if self._ublock is None:
+            self._ublock = [
+                self.crawler.measure_ublock(
+                    "DE", domain, iterations=self.repeats
+                )
+                for domain in self.verified_wall_domains()
+            ]
+        return self._ublock

@@ -1,0 +1,28 @@
+"""HTTP message and cookie substrate.
+
+Implements just enough of HTTP semantics for the measurement stack:
+case-insensitive headers, request/response messages, and an RFC 6265
+style cookie model (parsing ``Set-Cookie``, domain matching, a cookie
+jar with first/third-party awareness).
+"""
+
+from repro.httpkit.cookies import (
+    Cookie,
+    CookieJar,
+    domain_match,
+    parse_cookie_header,
+    parse_set_cookie,
+)
+from repro.httpkit.headers import Headers
+from repro.httpkit.messages import Request, Response
+
+__all__ = [
+    "Headers",
+    "Request",
+    "Response",
+    "Cookie",
+    "CookieJar",
+    "parse_set_cookie",
+    "parse_cookie_header",
+    "domain_match",
+]

@@ -1,0 +1,257 @@
+"""RFC 6265-style cookies: parsing, domain matching, and a cookie jar.
+
+The measurement pipeline's key metric is the number of first-party,
+third-party, and tracking cookies a visit accumulates (paper §4.3), so
+the jar records for every cookie which origin set it and classifies
+party-ness relative to the *top-level* page site the way OpenWPM does:
+a cookie is third-party when its domain's registrable domain differs
+from the visited page's registrable domain.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import CookieError
+from repro.urlkit import URL, is_public_suffix, registrable_domain
+
+
+@dataclass(frozen=True)
+class Cookie:
+    """A single cookie as stored in the jar."""
+
+    name: str
+    value: str
+    domain: str              # without leading dot
+    path: str = "/"
+    secure: bool = False
+    http_only: bool = False
+    host_only: bool = True   # True when no Domain attribute was given
+    max_age: Optional[int] = None
+    same_site: str = "lax"
+
+    @property
+    def site(self) -> Optional[str]:
+        """The registrable domain the cookie belongs to."""
+        return registrable_domain(self.domain)
+
+    @property
+    def is_session(self) -> bool:
+        return self.max_age is None
+
+    @property
+    def expired(self) -> bool:
+        return self.max_age is not None and self.max_age <= 0
+
+    def key(self) -> Tuple[str, str, str]:
+        return (self.name, self.domain, self.path)
+
+
+def domain_match(host: str, cookie_domain: str) -> bool:
+    """RFC 6265 §5.1.3 domain-match."""
+    host = host.lower().rstrip(".")
+    cookie_domain = cookie_domain.lower().lstrip(".").rstrip(".")
+    if host == cookie_domain:
+        return True
+    return host.endswith("." + cookie_domain)
+
+
+def path_match(request_path: str, cookie_path: str) -> bool:
+    """RFC 6265 §5.1.4 path-match."""
+    if request_path == cookie_path:
+        return True
+    if request_path.startswith(cookie_path):
+        if cookie_path.endswith("/"):
+            return True
+        return request_path[len(cookie_path):].startswith("/")
+    return False
+
+
+def parse_cookie_header(value: Optional[str]) -> Dict[str, str]:
+    """Parse a request ``Cookie`` header into a name→value dict."""
+    out: Dict[str, str] = {}
+    if not value:
+        return out
+    for pair in value.split(";"):
+        name, sep, val = pair.partition("=")
+        if sep and name.strip():
+            out[name.strip()] = val.strip()
+    return out
+
+
+def parse_set_cookie(header: str, request_url: URL) -> Cookie:
+    """Parse a ``Set-Cookie`` header value in the context of a request.
+
+    Raises :class:`CookieError` for cookies a browser would reject
+    (empty names, domains that do not domain-match the request host,
+    attempts to set cookies for a public suffix).
+    """
+    parts = header.split(";")
+    name, sep, value = parts[0].partition("=")
+    name = name.strip()
+    value = value.strip().strip('"')
+    if not sep or not name:
+        raise CookieError(f"malformed cookie pair in {header!r}")
+
+    domain = request_url.host
+    host_only = True
+    path = "/"
+    secure = False
+    http_only = False
+    max_age: Optional[int] = None
+    same_site = "lax"
+
+    for part in parts[1:]:
+        attr, _, attr_value = part.partition("=")
+        attr = attr.strip().lower()
+        attr_value = attr_value.strip()
+        if attr == "domain" and attr_value:
+            candidate = attr_value.lstrip(".").lower()
+            if is_public_suffix(candidate):
+                raise CookieError(
+                    f"cookie domain {candidate!r} is a public suffix"
+                )
+            if not domain_match(request_url.host, candidate):
+                raise CookieError(
+                    f"cookie domain {candidate!r} does not match host "
+                    f"{request_url.host!r}"
+                )
+            domain = candidate
+            host_only = False
+        elif attr == "path" and attr_value.startswith("/"):
+            path = attr_value
+        elif attr == "secure":
+            secure = True
+        elif attr == "httponly":
+            http_only = True
+        elif attr == "max-age":
+            try:
+                max_age = int(attr_value)
+            except ValueError:
+                raise CookieError(f"bad Max-Age in {header!r}") from None
+        elif attr == "samesite" and attr_value:
+            same_site = attr_value.lower()
+
+    return Cookie(
+        name=name,
+        value=value,
+        domain=domain,
+        path=path,
+        secure=secure,
+        http_only=http_only,
+        host_only=host_only,
+        max_age=max_age,
+        same_site=same_site,
+    )
+
+
+class CookieJar:
+    """Stores cookies and answers matching + party-ness queries."""
+
+    def __init__(self) -> None:
+        self._cookies: Dict[Tuple[str, str, str], Cookie] = {}
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def set_cookie(self, cookie: Cookie) -> None:
+        """Insert or replace a cookie (expired cookies delete)."""
+        if cookie.expired:
+            self._cookies.pop(cookie.key(), None)
+            return
+        self._cookies[cookie.key()] = cookie
+
+    def set_from_header(self, header: str, request_url: URL) -> Optional[Cookie]:
+        """Parse and store a Set-Cookie header; None when rejected."""
+        try:
+            cookie = parse_set_cookie(header, request_url)
+        except CookieError:
+            return None
+        self.set_cookie(cookie)
+        return cookie
+
+    def clear(self, *, site: Optional[str] = None) -> int:
+        """Delete all cookies, or only those belonging to *site*.
+
+        Returns the number of cookies removed.  Clearing a single site
+        models the "delete your cookies to re-decide" flow discussed in
+        paper §5 (Revoking Cookiewall Acceptance).
+        """
+        if site is None:
+            count = len(self._cookies)
+            self._cookies.clear()
+            return count
+        keys = [k for k, c in self._cookies.items() if c.site == site]
+        for key in keys:
+            del self._cookies[key]
+        return len(keys)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def all_cookies(self) -> List[Cookie]:
+        return list(self._cookies.values())
+
+    def __len__(self) -> int:
+        return len(self._cookies)
+
+    def __iter__(self):
+        return iter(self.all_cookies())
+
+    def cookies_for(self, url: URL, *, first_party_site: Optional[str] = None) -> List[Cookie]:
+        """Cookies a request to *url* would carry.
+
+        ``first_party_site`` enables a coarse SameSite check: strict
+        cookies are withheld on cross-site requests.
+        """
+        out = []
+        for cookie in self._cookies.values():
+            if cookie.host_only:
+                if url.host != cookie.domain:
+                    continue
+            elif not domain_match(url.host, cookie.domain):
+                continue
+            if not path_match(url.path, cookie.path):
+                continue
+            if cookie.secure and url.scheme != "https":
+                continue
+            if (
+                first_party_site is not None
+                and cookie.same_site == "strict"
+                and registrable_domain(url.host) != first_party_site
+            ):
+                continue
+            out.append(cookie)
+        return out
+
+    def get(self, name: str, domain: str) -> Optional[Cookie]:
+        """Find a cookie by name on *domain* (any path)."""
+        for cookie in self._cookies.values():
+            if cookie.name == name and cookie.domain == domain.lower():
+                return cookie
+        return None
+
+    def has(self, name: str, domain: str) -> bool:
+        return self.get(name, domain) is not None
+
+    # ------------------------------------------------------------------
+    # Party-ness (paper §4.3 accounting)
+    # ------------------------------------------------------------------
+    def partition_by_party(self, page_site: str) -> Tuple[List[Cookie], List[Cookie]]:
+        """Split into (first-party, third-party) relative to *page_site*."""
+        first: List[Cookie] = []
+        third: List[Cookie] = []
+        for cookie in self._cookies.values():
+            if cookie.site == page_site:
+                first.append(cookie)
+            else:
+                third.append(cookie)
+        return first, third
+
+    def snapshot(self) -> "CookieJar":
+        """An independent copy of the jar."""
+        copy = CookieJar()
+        copy._cookies = dict(self._cookies)
+        return copy

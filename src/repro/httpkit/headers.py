@@ -1,0 +1,65 @@
+"""Case-insensitive HTTP headers with multi-value support."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+
+class Headers:
+    """An ordered, case-insensitive multimap of header fields."""
+
+    def __init__(self, items: Optional[Iterable[Tuple[str, str]]] = None) -> None:
+        self._items: List[Tuple[str, str]] = []
+        if items:
+            if isinstance(items, dict):
+                items = items.items()
+            for name, value in items:
+                self.add(name, value)
+
+    def add(self, name: str, value: str) -> None:
+        """Append a header field (keeps existing fields of the same name)."""
+        self._items.append((str(name), str(value)))
+
+    def set(self, name: str, value: str) -> None:
+        """Replace all fields named *name* with a single value."""
+        self.remove(name)
+        self.add(name, value)
+
+    def remove(self, name: str) -> None:
+        lowered = name.lower()
+        self._items = [(n, v) for n, v in self._items if n.lower() != lowered]
+
+    def get(self, name: str, default: Optional[str] = None) -> Optional[str]:
+        """First value for *name*, or *default*."""
+        lowered = name.lower()
+        for n, v in self._items:
+            if n.lower() == lowered:
+                return v
+        return default
+
+    def get_all(self, name: str) -> List[str]:
+        """All values for *name*, in insertion order."""
+        lowered = name.lower()
+        return [v for n, v in self._items if n.lower() == lowered]
+
+    def __contains__(self, name: object) -> bool:
+        return isinstance(name, str) and self.get(name) is not None
+
+    def __iter__(self) -> Iterator[Tuple[str, str]]:
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def to_dict(self) -> Dict[str, str]:
+        """Collapse to a plain dict (first value wins)."""
+        out: Dict[str, str] = {}
+        for name, value in self._items:
+            out.setdefault(name.lower(), value)
+        return out
+
+    def copy(self) -> "Headers":
+        return Headers(list(self._items))
+
+    def __repr__(self) -> str:
+        return f"Headers({self._items!r})"

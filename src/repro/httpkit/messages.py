@@ -1,0 +1,80 @@
+"""HTTP request/response message objects used by the simulated network."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.httpkit.headers import Headers
+from repro.urlkit import URL, parse
+
+#: Resource types mirroring what browsers and ad-blockers distinguish.
+RESOURCE_TYPES = (
+    "document",
+    "subdocument",   # iframes
+    "script",
+    "stylesheet",
+    "image",
+    "xhr",
+    "other",
+)
+
+
+@dataclass
+class Request:
+    """An outgoing HTTP request."""
+
+    url: URL
+    method: str = "GET"
+    headers: Headers = field(default_factory=Headers)
+    body: str = ""
+    #: The top-level page URL on whose behalf this request is issued.
+    initiator: Optional[URL] = None
+    resource_type: str = "document"
+
+    def __post_init__(self) -> None:
+        if isinstance(self.url, str):  # convenience for tests
+            self.url = parse(self.url)
+        if isinstance(self.initiator, str):
+            self.initiator = parse(self.initiator)
+        if self.resource_type not in RESOURCE_TYPES:
+            raise ValueError(f"unknown resource type {self.resource_type!r}")
+
+    @property
+    def is_third_party(self) -> bool:
+        """True when the request crosses the initiator's site boundary."""
+        if self.initiator is None:
+            return False
+        return self.url.site != self.initiator.site
+
+    def __repr__(self) -> str:
+        return f"<Request {self.method} {self.url}>"
+
+
+@dataclass
+class Response:
+    """An HTTP response produced by a simulated origin server."""
+
+    request: Request
+    status: int = 200
+    headers: Headers = field(default_factory=Headers)
+    body: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+    @property
+    def content_type(self) -> str:
+        return self.headers.get("content-type", "text/html")
+
+    @property
+    def set_cookie_headers(self) -> List[str]:
+        return self.headers.get_all("set-cookie")
+
+    def add_cookie(self, header_value: str) -> None:
+        """Attach a ``Set-Cookie`` header to the response."""
+        self.headers.add("set-cookie", header_value)
+
+    def __repr__(self) -> str:
+        return f"<Response {self.status} for {self.request.url}>"

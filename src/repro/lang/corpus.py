@@ -1,0 +1,171 @@
+"""Seed corpora for language identification and site text generation.
+
+Each corpus is a list of natural sentences.  The synthetic web samples
+page copy from these (plus template phrases); the detector trains its
+trigram profiles on the same distributions — the same relationship a
+production model like CLD3 has to the text of the live web.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+CORPORA: Dict[str, List[str]] = {
+    "de": [
+        "Die Bundesregierung hat am Mittwoch neue Maßnahmen beschlossen.",
+        "Der Verein sucht noch ehrenamtliche Helfer für das Sommerfest.",
+        "Nach Angaben der Polizei wurden zwei Personen leicht verletzt.",
+        "Die Preise für Strom und Gas sind im vergangenen Jahr deutlich gestiegen.",
+        "Unsere Redaktion berichtet täglich über Politik, Wirtschaft und Kultur.",
+        "Viele Leserinnen und Leser nutzen unser Angebot bereits seit Jahren.",
+        "Der Zug fährt wegen Bauarbeiten nur bis zum Hauptbahnhof.",
+        "Im Stadtrat wurde lange über den neuen Haushalt diskutiert.",
+        "Das Wetter bleibt am Wochenende wechselhaft mit einzelnen Schauern.",
+        "Die Mannschaft gewann das Auswärtsspiel mit zwei Toren Vorsprung.",
+        "Forscher der Universität stellten ihre Ergebnisse gestern vor.",
+        "Mit unserem Newsletter verpassen Sie keine wichtigen Nachrichten mehr.",
+        "Bitte beachten Sie unsere Hinweise zum Datenschutz und zur Nutzung.",
+        "Der Artikel wurde zuletzt am Dienstag aktualisiert und ergänzt.",
+        "Wir verwenden Cookies, um Inhalte und Anzeigen zu personalisieren.",
+        "Die Feuerwehr rückte in der Nacht zu einem Einsatz im Stadtzentrum aus.",
+    ],
+    "en": [
+        "The government announced a new package of measures on Wednesday.",
+        "Our newsroom covers politics, business, sport and culture every day.",
+        "Police said two people suffered minor injuries in the incident.",
+        "Energy prices have risen sharply over the past twelve months.",
+        "Readers can sign up for our newsletter to receive daily updates.",
+        "The team secured an away win with two goals in the second half.",
+        "Researchers at the university presented their findings yesterday.",
+        "The weather will remain changeable over the weekend with showers.",
+        "The council debated the new budget late into the evening.",
+        "This article was last updated on Tuesday with additional details.",
+        "We use cookies to personalise content and to analyse our traffic.",
+        "Subscribe today for unlimited access to all premium articles.",
+        "Firefighters responded to a call in the city centre overnight.",
+        "The company reported strong quarterly earnings despite headwinds.",
+        "Travel disruption is expected because of planned engineering works.",
+    ],
+    "it": [
+        "Il governo ha annunciato mercoledì un nuovo pacchetto di misure.",
+        "La nostra redazione racconta ogni giorno politica, economia e cultura.",
+        "La polizia ha riferito che due persone sono rimaste lievemente ferite.",
+        "I prezzi dell'energia sono aumentati sensibilmente nell'ultimo anno.",
+        "I lettori possono iscriversi alla newsletter per ricevere aggiornamenti.",
+        "La squadra ha vinto in trasferta con due gol nel secondo tempo.",
+        "I ricercatori dell'università hanno presentato ieri i loro risultati.",
+        "Il tempo resterà variabile nel fine settimana con qualche pioggia.",
+        "Il consiglio comunale ha discusso a lungo il nuovo bilancio.",
+        "Questo articolo è stato aggiornato martedì con ulteriori dettagli.",
+        "Utilizziamo i cookie per personalizzare contenuti e annunci.",
+        "Abbonati oggi per l'accesso illimitato a tutti gli articoli.",
+        "I vigili del fuoco sono intervenuti nella notte in centro città.",
+    ],
+    "sv": [
+        "Regeringen presenterade i onsdags ett nytt åtgärdspaket.",
+        "Vår redaktion bevakar politik, ekonomi, sport och kultur varje dag.",
+        "Polisen uppger att två personer skadades lindrigt i händelsen.",
+        "Elpriserna har stigit kraftigt under det senaste året.",
+        "Läsare kan anmäla sig till vårt nyhetsbrev för dagliga uppdateringar.",
+        "Laget säkrade en bortaseger med två mål i andra halvlek.",
+        "Forskare vid universitetet presenterade sina resultat i går.",
+        "Vädret förblir ostadigt under helgen med enstaka skurar.",
+        "Kommunfullmäktige debatterade den nya budgeten till sent på kvällen.",
+        "Artikeln uppdaterades senast i tisdags med nya uppgifter.",
+        "Vi använder kakor för att anpassa innehåll och annonser.",
+        "Prenumerera i dag för obegränsad tillgång till alla artiklar.",
+        "Räddningstjänsten ryckte ut till en insats i centrum under natten.",
+    ],
+    "fr": [
+        "Le gouvernement a annoncé mercredi un nouveau train de mesures.",
+        "Notre rédaction couvre chaque jour la politique, l'économie et la culture.",
+        "La police indique que deux personnes ont été légèrement blessées.",
+        "Les prix de l'énergie ont fortement augmenté au cours de l'année écoulée.",
+        "Les lecteurs peuvent s'abonner à notre lettre d'information quotidienne.",
+        "L'équipe a décroché une victoire à l'extérieur grâce à deux buts.",
+        "Des chercheurs de l'université ont présenté hier leurs résultats.",
+        "Le temps restera variable ce week-end avec quelques averses.",
+        "Le conseil municipal a longuement débattu du nouveau budget.",
+        "Cet article a été mis à jour mardi avec des précisions.",
+        "Nous utilisons des cookies pour personnaliser les contenus et les publicités.",
+        "Abonnez-vous dès aujourd'hui pour un accès illimité à tous les articles.",
+    ],
+    "es": [
+        "El gobierno anunció el miércoles un nuevo paquete de medidas.",
+        "Nuestra redacción cubre cada día la política, la economía y la cultura.",
+        "La policía informó de que dos personas resultaron heridas leves.",
+        "Los precios de la energía han subido con fuerza en el último año.",
+        "Los lectores pueden suscribirse a nuestro boletín de noticias diario.",
+        "El equipo logró una victoria a domicilio con dos goles en la segunda parte.",
+        "Investigadores de la universidad presentaron ayer sus resultados.",
+        "El tiempo seguirá variable durante el fin de semana con algunos chubascos.",
+        "El pleno municipal debatió el nuevo presupuesto hasta bien entrada la noche.",
+        "Este artículo se actualizó el martes con más detalles.",
+        "Utilizamos cookies para personalizar el contenido y los anuncios.",
+        "Suscríbete hoy para disfrutar de acceso ilimitado a todos los artículos.",
+    ],
+    "pt": [
+        "O governo anunciou na quarta-feira um novo pacote de medidas.",
+        "A nossa redação cobre todos os dias política, economia e cultura.",
+        "A polícia informou que duas pessoas ficaram levemente feridas.",
+        "Os preços da energia subiram fortemente no último ano.",
+        "Os leitores podem assinar a nossa newsletter para receber novidades.",
+        "A equipe garantiu uma vitória fora de casa com dois gols no segundo tempo.",
+        "Pesquisadores da universidade apresentaram ontem seus resultados.",
+        "O tempo continuará instável no fim de semana com algumas pancadas de chuva.",
+        "A câmara municipal debateu o novo orçamento até tarde da noite.",
+        "Este artigo foi atualizado na terça-feira com mais detalhes.",
+        "Usamos cookies para personalizar conteúdo e anúncios.",
+        "Assine hoje para ter acesso ilimitado a todos os artigos.",
+    ],
+    "nl": [
+        "De regering kondigde woensdag een nieuw pakket maatregelen aan.",
+        "Onze redactie bericht dagelijks over politiek, economie en cultuur.",
+        "De politie meldt dat twee personen lichtgewond raakten.",
+        "De energieprijzen zijn het afgelopen jaar fors gestegen.",
+        "Lezers kunnen zich aanmelden voor onze dagelijkse nieuwsbrief.",
+        "Het elftal boekte een uitoverwinning met twee doelpunten na rust.",
+        "Onderzoekers van de universiteit presenteerden gisteren hun resultaten.",
+        "Het weer blijft in het weekend wisselvallig met enkele buien.",
+        "De gemeenteraad debatteerde tot laat over de nieuwe begroting.",
+        "Dit artikel werd dinsdag bijgewerkt met extra informatie.",
+        "Wij gebruiken cookies om inhoud en advertenties te personaliseren.",
+        "Neem vandaag een abonnement voor onbeperkte toegang tot alle artikelen.",
+    ],
+    "da": [
+        "Regeringen præsenterede onsdag en ny pakke af tiltag.",
+        "Vores redaktion dækker hver dag politik, økonomi og kultur.",
+        "Politiet oplyser, at to personer kom lettere til skade.",
+        "Energipriserne er steget kraftigt i løbet af det seneste år.",
+        "Læsere kan tilmelde sig vores daglige nyhedsbrev.",
+        "Holdet sikrede sig en udebanesejr med to mål efter pausen.",
+        "Forskere fra universitetet fremlagde deres resultater i går.",
+        "Vejret forbliver ustadigt i weekenden med enkelte byger.",
+        "Byrådet debatterede det nye budget til langt ud på aftenen.",
+        "Denne artikel blev opdateret tirsdag med flere oplysninger.",
+        "Vi bruger cookies til at tilpasse indhold og annoncer.",
+        "Tegn et abonnement i dag og få ubegrænset adgang til alle artikler.",
+    ],
+    "zu": [
+        "Uhulumeni umemezele ngoLwesithathu uhlelo olusha lwezinyathelo.",
+        "Abezindaba bethu babika nsuku zonke ngezepolitiki nezomnotho.",
+        "Amaphoyisa athi abantu ababili balimala kancane esigamekweni.",
+        "Amanani kagesi akhuphuke kakhulu onyakeni odlule.",
+        "Abafundi bangabhalisela incwadi yethu yezindaba yansuku zonke.",
+        "Iqembu linqobe umdlalo wasekhaya ngamagoli amabili.",
+        "Abacwaningi basenyuvesi bethule imiphumela yabo izolo.",
+        "Isimo sezulu sizohlala singaguquguquki ngempelasonto.",
+        "Umkhandlu wedolobha uxoxe isikhathi eside ngesabelomali esisha.",
+        "Lesi sihloko sibuyekezwe ngoLwesibili saneziwa eminye imininingwane.",
+    ],
+}
+
+#: Stable language ordering.
+LANGUAGES = tuple(sorted(CORPORA))
+
+
+def sample_sentences(language: str, count: int, rng: random.Random) -> List[str]:
+    """Draw *count* sentences (with replacement) from a language corpus."""
+    corpus = CORPORA[language]
+    return [rng.choice(corpus) for _ in range(count)]

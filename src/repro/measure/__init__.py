@@ -1,0 +1,22 @@
+"""The measurement harness (OpenWPM-style crawls, paper §3/§4).
+
+Provides multi-vantage-point detection crawls, cookie measurements
+with repeat visits, SMP subscription measurements, uBlock bypass
+measurements, accuracy evaluation, and record storage.
+"""
+
+from repro.measure.cookies_analysis import CookieCounts, count_cookies
+from repro.measure.crawl import Crawler, CrawlResult
+from repro.measure.records import CookieMeasurement, VisitRecord
+from repro.measure.storage import load_records, save_records
+
+__all__ = [
+    "Crawler",
+    "CrawlResult",
+    "VisitRecord",
+    "CookieMeasurement",
+    "CookieCounts",
+    "count_cookies",
+    "save_records",
+    "load_records",
+]

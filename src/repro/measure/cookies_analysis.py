@@ -1,0 +1,69 @@
+"""Cookie counting: first-party / third-party / tracking (paper §4.3)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.blocklists import JustDomainsList
+from repro.httpkit import Cookie, CookieJar
+
+
+@dataclass(frozen=True)
+class CookieCounts:
+    """Cookie totals for one visit, split the way the paper splits them."""
+
+    first_party: int
+    third_party: int
+    tracking: int
+
+    def as_dict(self) -> dict:
+        return {
+            "first_party": self.first_party,
+            "third_party": self.third_party,
+            "tracking": self.tracking,
+        }
+
+
+def count_cookies(
+    jar: CookieJar,
+    page_site: str,
+    tracking_list: JustDomainsList,
+    *,
+    baseline: Optional[CookieJar] = None,
+) -> CookieCounts:
+    """Count cookies in *jar* relative to the visited *page_site*.
+
+    A cookie is third-party when its registrable domain differs from
+    the page's; it is a tracking cookie when its domain matches the
+    justdomains list (the paper's §4.3 classification).  When a
+    *baseline* jar is given (e.g. the subscription login state), only
+    cookies that are new relative to the baseline are counted.
+    """
+    existing = set()
+    if baseline is not None:
+        existing = {c.key() for c in baseline.all_cookies()}
+    first = third = tracking = 0
+    for cookie in jar.all_cookies():
+        if cookie.key() in existing:
+            continue
+        if cookie.site == page_site:
+            first += 1
+        else:
+            third += 1
+        if tracking_list.is_tracking_cookie(cookie):
+            tracking += 1
+    return CookieCounts(first, third, tracking)
+
+
+def average_counts(counts: Iterable[CookieCounts]) -> tuple:
+    """Mean (first, third, tracking) over several visits."""
+    items = list(counts)
+    if not items:
+        return (0.0, 0.0, 0.0)
+    n = len(items)
+    return (
+        sum(c.first_party for c in items) / n,
+        sum(c.third_party for c in items) / n,
+        sum(c.tracking for c in items) / n,
+    )

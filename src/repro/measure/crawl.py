@@ -1,0 +1,271 @@
+"""The crawler: detection crawls, cookie measurements, bypass runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.adblock import UBlockOrigin
+from repro.bannerclick import BannerClick, accept_banner, reject_banner
+from repro.errors import MeasurementError, NavigationError, NetworkError
+from repro.httpkit import CookieJar
+from repro.lang import LanguageDetector
+from repro.measure.cookies_analysis import CookieCounts, average_counts, count_cookies
+from repro.measure.records import CookieMeasurement, UBlockRecord, VisitRecord
+from repro.smp import SMPPlatform
+from repro.vantage import VANTAGE_POINTS
+from repro.webgen.world import World
+
+
+@dataclass
+class CrawlResult:
+    """All visit records of one crawl, with simple accessors."""
+
+    records: List[VisitRecord] = field(default_factory=list)
+
+    def by_vp(self, vp: str) -> List[VisitRecord]:
+        return [r for r in self.records if r.vp == vp]
+
+    def cookiewalls(self, vp: Optional[str] = None) -> List[VisitRecord]:
+        return [
+            r for r in self.records
+            if r.is_cookiewall and (vp is None or r.vp == vp)
+        ]
+
+    def cookiewall_domains(self, vp: Optional[str] = None) -> List[str]:
+        seen = set()
+        out = []
+        for record in self.cookiewalls(vp):
+            if record.domain not in seen:
+                seen.add(record.domain)
+                out.append(record.domain)
+        return out
+
+    def regular_banner_domains(self, vp: str) -> List[str]:
+        return [
+            r.domain for r in self.by_vp(vp)
+            if r.banner_found and not r.is_cookiewall and r.has_accept
+        ]
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+class Crawler:
+    """Runs the paper's measurements against a :class:`World`."""
+
+    def __init__(
+        self,
+        world: World,
+        *,
+        bannerclick: Optional[BannerClick] = None,
+        language_detector: Optional[LanguageDetector] = None,
+    ) -> None:
+        self.world = world
+        self.bannerclick = bannerclick or BannerClick()
+        self._lang = language_detector or LanguageDetector()
+
+    # ------------------------------------------------------------------
+    # Detection crawls (Table 1, §4.1)
+    # ------------------------------------------------------------------
+    def visit(
+        self,
+        vp: str,
+        domain: str,
+        *,
+        extensions: Sequence = (),
+        detect_language: bool = True,
+    ) -> VisitRecord:
+        """One detection visit with a fresh browser profile."""
+        record = VisitRecord(vp=vp, domain=domain)
+        browser = self.world.browser(vp, extensions=extensions)
+        try:
+            page = browser.visit(domain)
+        except (NavigationError, NetworkError) as exc:
+            record.reachable = False
+            record.error = type(exc).__name__
+            return record
+        detection = self.bannerclick.detect(page)
+        record.banner_found = detection.found
+        record.banner_location = detection.location
+        record.has_accept = detection.accept_element is not None
+        record.has_reject = detection.has_reject
+        record.is_cookiewall = detection.is_cookiewall
+        record.wall_word_match = detection.wall_word_match
+        record.currency_matches = list(detection.currency_matches)
+        record.banner_text = detection.text
+        record.flags = dict(page.flags)
+        if page.scroll_locked:
+            record.flags["scroll_locked"] = True
+        if detect_language and detection.is_cookiewall:
+            record.detected_language = self._lang.detect(
+                page.visible_text()
+            ).language
+        return record
+
+    def crawl_vp(
+        self,
+        vp: str,
+        domains: Optional[Iterable[str]] = None,
+        *,
+        progress: Optional[Callable[[int, int], None]] = None,
+    ) -> List[VisitRecord]:
+        """Detection-crawl *domains* (default: the full target union)."""
+        targets = list(domains) if domains is not None else self.world.crawl_targets
+        records = []
+        total = len(targets)
+        for index, domain in enumerate(targets):
+            records.append(self.visit(vp, domain))
+            if progress is not None and (index + 1) % 1000 == 0:
+                progress(index + 1, total)
+        return records
+
+    def crawl_all(
+        self,
+        vps: Optional[Sequence[str]] = None,
+        domains: Optional[Iterable[str]] = None,
+        *,
+        progress: Optional[Callable[[str, int, int], None]] = None,
+    ) -> CrawlResult:
+        """The full multi-VP detection crawl."""
+        vps = list(vps) if vps is not None else list(VANTAGE_POINTS)
+        targets = list(domains) if domains is not None else self.world.crawl_targets
+        result = CrawlResult()
+        for vp in vps:
+            vp_progress = None
+            if progress is not None:
+                vp_progress = lambda done, total, _vp=vp: progress(_vp, done, total)
+            result.records.extend(
+                self.crawl_vp(vp, targets, progress=vp_progress)
+            )
+        return result
+
+    # ------------------------------------------------------------------
+    # Cookie measurements (§4.3, Figure 4; §4.4, Figure 5)
+    # ------------------------------------------------------------------
+    def measure_accept_cookies(
+        self, vp: str, domain: str, *, repeats: int = 5
+    ) -> CookieMeasurement:
+        """Visit, accept the banner, reload, count cookies; repeat."""
+        measurement = CookieMeasurement(vp=vp, domain=domain, mode="accept")
+        counts: List[CookieCounts] = []
+        for _ in range(repeats):
+            jar = CookieJar()
+            browser = self.world.browser(vp, jar=jar)
+            try:
+                page = browser.visit(domain)
+                detection = self.bannerclick.detect(page)
+                if detection.found and detection.accept_element is not None:
+                    accept_banner(browser, page, detection)
+                    page = browser.reload(page)
+            except (NavigationError, NetworkError, MeasurementError) as exc:
+                measurement.error = type(exc).__name__
+                continue
+            site = page.site or domain
+            count = count_cookies(jar, site, self.world.tracking_list)
+            counts.append(count)
+            measurement.per_visit.append(count.as_dict())
+        measurement.repeats = len(counts)
+        (measurement.avg_first_party,
+         measurement.avg_third_party,
+         measurement.avg_tracking) = average_counts(counts)
+        return measurement
+
+    def measure_reject_cookies(
+        self, vp: str, domain: str, *, repeats: int = 5
+    ) -> CookieMeasurement:
+        """Visit, click reject (where offered), reload, count cookies.
+
+        BannerClick's reject interaction (its PAM'23 heritage); walls
+        have no reject button, so those measurements record an error.
+        """
+        measurement = CookieMeasurement(vp=vp, domain=domain, mode="reject")
+        counts: List[CookieCounts] = []
+        for _ in range(repeats):
+            jar = CookieJar()
+            browser = self.world.browser(vp, jar=jar)
+            try:
+                page = browser.visit(domain)
+                detection = self.bannerclick.detect(page)
+                if detection.found:
+                    reject_banner(browser, page, detection)
+                    page = browser.reload(page)
+            except (NavigationError, NetworkError, MeasurementError) as exc:
+                measurement.error = type(exc).__name__
+                continue
+            site = page.site or domain
+            count = count_cookies(jar, site, self.world.tracking_list)
+            counts.append(count)
+            measurement.per_visit.append(count.as_dict())
+        measurement.repeats = len(counts)
+        (measurement.avg_first_party,
+         measurement.avg_third_party,
+         measurement.avg_tracking) = average_counts(counts)
+        return measurement
+
+    def measure_subscription_cookies(
+        self,
+        vp: str,
+        domain: str,
+        platform: SMPPlatform,
+        email: str,
+        password: str,
+        *,
+        repeats: int = 5,
+    ) -> CookieMeasurement:
+        """Visit as a logged-in subscriber; count newly set cookies."""
+        measurement = CookieMeasurement(vp=vp, domain=domain, mode="subscription")
+        counts: List[CookieCounts] = []
+        for _ in range(repeats):
+            jar = CookieJar()
+            browser = self.world.browser(vp, jar=jar)
+            try:
+                login = browser.visit(
+                    f"https://{platform.domain}/login"
+                    f"?email={email}&password={password}"
+                )
+                if login.status != 200:
+                    raise MeasurementError("SMP login failed")
+                baseline = jar.snapshot()
+                page = browser.visit(domain)
+            except (NavigationError, NetworkError, MeasurementError) as exc:
+                measurement.error = type(exc).__name__
+                continue
+            site = page.site or domain
+            count = count_cookies(
+                jar, site, self.world.tracking_list, baseline=baseline
+            )
+            counts.append(count)
+            measurement.per_visit.append(count.as_dict())
+        measurement.repeats = len(counts)
+        (measurement.avg_first_party,
+         measurement.avg_third_party,
+         measurement.avg_tracking) = average_counts(counts)
+        return measurement
+
+    # ------------------------------------------------------------------
+    # uBlock bypass measurement (§4.5)
+    # ------------------------------------------------------------------
+    def measure_ublock(
+        self, vp: str, domain: str, *, iterations: int = 5
+    ) -> UBlockRecord:
+        """Visit with uBlock (Annoyances enabled); check wall and page."""
+        record = UBlockRecord(domain=domain, iterations=iterations)
+        for _ in range(iterations):
+            ublock = UBlockOrigin(annoyances=True)
+            browser = self.world.browser(vp, extensions=[ublock])
+            try:
+                page = browser.visit(domain)
+            except (NavigationError, NetworkError):
+                continue
+            detection = self.bannerclick.detect(page)
+            if detection.is_cookiewall:
+                record.wall_seen_count += 1
+            if page.flags.get("adblock_wall"):
+                record.broken = True
+                record.broken_reason = "anti-adblock prompt"
+            elif page.scroll_locked and not detection.is_cookiewall:
+                record.broken = True
+                record.broken_reason = "page not scrollable"
+        record.suppressed = record.wall_seen_count == 0
+        return record

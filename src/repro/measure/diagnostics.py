@@ -1,0 +1,88 @@
+"""Crawl health diagnostics (OpenWPM-style run summaries).
+
+Aggregates visit records into the kind of operational report a
+large-scale crawl needs: reachability per vantage point, error
+breakdown, banner/wall hit rates, and detector-location mix.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.measure.records import VisitRecord
+
+
+@dataclass
+class CrawlDiagnostics:
+    """Aggregated health metrics of one crawl."""
+
+    total_visits: int = 0
+    reachable: int = 0
+    errors: Dict[str, int] = field(default_factory=dict)
+    per_vp_visits: Dict[str, int] = field(default_factory=dict)
+    per_vp_unreachable: Dict[str, int] = field(default_factory=dict)
+    banner_rate: float = 0.0
+    wall_rate: float = 0.0
+    locations: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def reachability(self) -> float:
+        return self.reachable / self.total_visits if self.total_visits else 0.0
+
+    def render(self) -> str:
+        lines = [
+            "Crawl diagnostics",
+            f"  visits:        {self.total_visits}",
+            f"  reachable:     {self.reachable} "
+            f"({self.reachability * 100:.1f}%)",
+            f"  banner rate:   {self.banner_rate * 100:.1f}%",
+            f"  wall rate:     {self.wall_rate * 100:.2f}%",
+        ]
+        if self.errors:
+            lines.append("  errors:")
+            for name, count in sorted(self.errors.items()):
+                lines.append(f"    {name:<22} {count}")
+        if self.locations:
+            lines.append("  banner locations:")
+            for name, count in sorted(self.locations.items()):
+                lines.append(f"    {name:<14} {count}")
+        for vp in sorted(self.per_vp_visits):
+            lines.append(
+                f"  {vp}: {self.per_vp_visits[vp]} visits, "
+                f"{self.per_vp_unreachable.get(vp, 0)} unreachable"
+            )
+        return "\n".join(lines)
+
+
+def diagnose(records: Sequence[VisitRecord]) -> CrawlDiagnostics:
+    """Summarise crawl records into :class:`CrawlDiagnostics`."""
+    diag = CrawlDiagnostics()
+    diag.total_visits = len(records)
+    error_counter: Counter = Counter()
+    vp_counter: Counter = Counter()
+    vp_unreachable: Counter = Counter()
+    location_counter: Counter = Counter()
+    banners = walls = 0
+    for record in records:
+        vp_counter[record.vp] += 1
+        if record.reachable:
+            diag.reachable += 1
+        else:
+            vp_unreachable[record.vp] += 1
+            if record.error:
+                error_counter[record.error] += 1
+        if record.banner_found:
+            banners += 1
+            location_counter[record.banner_location] += 1
+        if record.is_cookiewall:
+            walls += 1
+    if diag.reachable:
+        diag.banner_rate = banners / diag.reachable
+        diag.wall_rate = walls / diag.reachable
+    diag.errors = dict(error_counter)
+    diag.per_vp_visits = dict(vp_counter)
+    diag.per_vp_unreachable = dict(vp_unreachable)
+    diag.locations = dict(location_counter)
+    return diag

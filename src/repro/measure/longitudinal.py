@@ -1,0 +1,89 @@
+"""Longitudinal comparison of two measurement rounds.
+
+The paper notes ecosystem drift between its May and September 2023
+snapshots (§4.4 footnote 5: contentpass 219→270, freechoice 167→184
+partners) and nearly doubled German top-1k prevalence versus 2022
+(§4.1).  This module compares two crawl rounds of the same target list
+and reports exactly that kind of movement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Set
+
+from repro.measure.crawl import CrawlResult
+
+
+@dataclass
+class RoundComparison:
+    """Cookiewall movement between two crawl rounds."""
+
+    walls_round1: int = 0
+    walls_round2: int = 0
+    appeared: List[str] = field(default_factory=list)
+    disappeared: List[str] = field(default_factory=list)
+    stable: List[str] = field(default_factory=list)
+
+    @property
+    def growth(self) -> float:
+        if self.walls_round1 == 0:
+            return 0.0
+        return (self.walls_round2 - self.walls_round1) / self.walls_round1
+
+    def render(self) -> str:
+        return "\n".join(
+            [
+                "Longitudinal cookiewall comparison",
+                f"  round 1 walls: {self.walls_round1}",
+                f"  round 2 walls: {self.walls_round2} "
+                f"({self.growth * +100:+.1f}%)",
+                f"  appeared:      {len(self.appeared)}",
+                f"  disappeared:   {len(self.disappeared)}",
+                f"  stable:        {len(self.stable)}",
+            ]
+        )
+
+
+def compare_rounds(
+    round1: CrawlResult, round2: CrawlResult, *, vp: str = "DE"
+) -> RoundComparison:
+    """Diff the cookiewall populations seen from *vp* in two rounds."""
+    first: Set[str] = set(round1.cookiewall_domains(vp))
+    second: Set[str] = set(round2.cookiewall_domains(vp))
+    comparison = RoundComparison(
+        walls_round1=len(first),
+        walls_round2=len(second),
+        appeared=sorted(second - first),
+        disappeared=sorted(first - second),
+        stable=sorted(first & second),
+    )
+    return comparison
+
+
+@dataclass
+class SMPGrowth:
+    """Partner-roster growth per platform between two world snapshots."""
+
+    rosters: Dict[str, tuple] = field(default_factory=dict)  # name -> (before, after)
+
+    def render(self) -> str:
+        lines = ["SMP roster growth (paper §4.4 footnote 5)"]
+        for name, (before, after) in sorted(self.rosters.items()):
+            growth = (after - before) / before * 100 if before else 0.0
+            lines.append(
+                f"  {name}: {before} -> {after} partners ({growth:+.1f}%)"
+            )
+        return "\n".join(lines)
+
+
+def smp_growth(world_before, world_after) -> SMPGrowth:
+    """Roster sizes before/after (worlds from :func:`evolve_world`)."""
+    growth = SMPGrowth()
+    for name, platform in world_before.platforms.items():
+        after = world_after.platforms.get(name)
+        growth.rosters[name] = (
+            len(platform.partner_domains),
+            len(after.partner_domains) if after is not None else 0,
+        )
+    return growth

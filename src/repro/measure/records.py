@@ -1,0 +1,75 @@
+"""Measurement record types (serialisable results of crawls)."""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class VisitRecord:
+    """The outcome of one detection visit to one domain from one VP."""
+
+    vp: str
+    domain: str
+    reachable: bool = True
+    error: Optional[str] = None
+    banner_found: bool = False
+    banner_location: str = "none"
+    has_accept: bool = False
+    has_reject: bool = False
+    is_cookiewall: bool = False
+    wall_word_match: bool = False
+    currency_matches: List[str] = field(default_factory=list)
+    banner_text: str = ""
+    detected_language: str = "und"
+    flags: Dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "VisitRecord":
+        return cls(**data)
+
+
+@dataclass
+class CookieMeasurement:
+    """Averaged cookie counts for one domain (paper §4.3 methodology:
+    five repetitions, averaged, split by party and tracking)."""
+
+    vp: str
+    domain: str
+    mode: str                    # "accept" | "subscription" | "plain"
+    repeats: int = 0
+    avg_first_party: float = 0.0
+    avg_third_party: float = 0.0
+    avg_tracking: float = 0.0
+    per_visit: List[Dict[str, int]] = field(default_factory=list)
+    error: Optional[str] = None
+
+    def to_dict(self) -> Dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "CookieMeasurement":
+        return cls(**data)
+
+
+@dataclass
+class UBlockRecord:
+    """Outcome of the §4.5 bypass measurement for one wall site."""
+
+    domain: str
+    iterations: int = 0
+    wall_seen_count: int = 0
+    suppressed: bool = False      # wall never displayed
+    broken: bool = False          # anti-adblock prompt / unscrollable
+    broken_reason: str = ""
+
+    def to_dict(self) -> Dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "UBlockRecord":
+        return cls(**data)

@@ -1,0 +1,51 @@
+"""Record persistence: JSON-lines files (the released-data format)."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, List, Type, Union
+
+from repro.measure.records import CookieMeasurement, UBlockRecord, VisitRecord
+
+_RECORD_TYPES = {
+    "VisitRecord": VisitRecord,
+    "CookieMeasurement": CookieMeasurement,
+    "UBlockRecord": UBlockRecord,
+}
+
+
+def save_records(records: Iterable, path: Union[str, Path]) -> int:
+    """Write records as JSON lines; returns the number written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    count = 0
+    with path.open("w", encoding="utf-8") as handle:
+        for record in records:
+            payload = {
+                "type": type(record).__name__,
+                "data": record.to_dict(),
+            }
+            handle.write(json.dumps(payload, ensure_ascii=False) + "\n")
+            count += 1
+    return count
+
+
+def load_records(path: Union[str, Path]) -> List:
+    """Read records back; the inverse of :func:`save_records`."""
+    path = Path(path)
+    out: List = []
+    with path.open("r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            payload = json.loads(line)
+            type_name = payload.get("type")
+            record_cls = _RECORD_TYPES.get(type_name)
+            if record_cls is None:
+                raise ValueError(
+                    f"{path}:{line_number}: unknown record type {type_name!r}"
+                )
+            out.append(record_cls.from_dict(payload["data"]))
+    return out

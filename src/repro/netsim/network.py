@@ -1,0 +1,94 @@
+"""Request routing between the browser and simulated origin servers."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.errors import ConnectionRefused, DNSError
+from repro.httpkit import Request, Response
+from repro.netsim.server import OriginServer
+from repro.urlkit import registrable_domain
+from repro.vantage import VantagePoint
+
+
+@dataclass
+class VisitorContext:
+    """What an origin server can observe about the visiting client."""
+
+    vp: VantagePoint
+    user_agent: str = "Mozilla/5.0 (X11; Linux x86_64) repro-openwpm/1.0"
+    #: OpenWPM-style bot mitigation: when True the client is hard to
+    #: distinguish from a regular browser.
+    stealth: bool = True
+    #: Monotonic visit sequence number, lets servers rotate ads between
+    #: repeated visits the way real ad auctions do.
+    visit_id: int = 0
+
+    @property
+    def looks_like_bot(self) -> bool:
+        """True when naive server-side bot detection would flag us."""
+        return (not self.stealth) or "HeadlessCrawler" in self.user_agent
+
+
+class Network:
+    """Routes requests by registrable domain to origin servers."""
+
+    def __init__(self) -> None:
+        self._servers: Dict[str, OriginServer] = {}
+        self._exact_hosts: Dict[str, OriginServer] = {}
+        self._unreachable: set = set()
+        self._visit_counter = itertools.count(1)
+        #: Total number of requests served (for stats/benchmarks).
+        self.request_count = 0
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register(self, domain: str, server: OriginServer) -> None:
+        """Register *server* for a registrable domain (and subdomains)."""
+        site = registrable_domain(domain) or domain.lower()
+        self._servers[site] = server
+
+    def register_host(self, host: str, server: OriginServer) -> None:
+        """Register *server* for one exact host (overrides domain route)."""
+        self._exact_hosts[host.lower()] = server
+
+    def mark_unreachable(self, domain: str) -> None:
+        """Make a domain refuse connections (dead site in the toplist)."""
+        site = registrable_domain(domain) or domain.lower()
+        self._unreachable.add(site)
+
+    def knows(self, host: str) -> bool:
+        """True when DNS would resolve *host*."""
+        if host.lower() in self._exact_hosts:
+            return True
+        site = registrable_domain(host) or host.lower()
+        return site in self._servers or site in self._unreachable
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def next_visit_id(self) -> int:
+        """Allocate a fresh visit id (used by browsers per navigation)."""
+        return next(self._visit_counter)
+
+    def resolve(self, host: str) -> OriginServer:
+        """Resolve *host* to a server, raising DNS/connection errors."""
+        host = host.lower()
+        if host in self._exact_hosts:
+            return self._exact_hosts[host]
+        site = registrable_domain(host) or host
+        if site in self._unreachable:
+            raise ConnectionRefused(f"{host} refused the connection")
+        server = self._servers.get(site)
+        if server is None:
+            raise DNSError(f"no DNS record for {host}")
+        return server
+
+    def fetch(self, request: Request, visitor: VisitorContext) -> Response:
+        """Route *request* to its origin server and return the response."""
+        server = self.resolve(request.url.host)
+        self.request_count += 1
+        return server.handle(request, visitor)

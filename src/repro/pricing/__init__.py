@@ -1,0 +1,23 @@
+"""Subscription price extraction and normalisation (paper §4.2).
+
+The paper manually inspected each cookiewall to determine the
+subscription price, then normalised to € per month.  This package
+automates the same step: parse the rendered offer text for an
+amount/currency/period, convert with a fixed FX table, and normalise
+by billing period.
+"""
+
+from repro.pricing.currency import (
+    FX_RATES_PER_EUR,
+    format_amount,
+    to_eur_cents,
+)
+from repro.pricing.extract import ExtractedPrice, extract_price
+
+__all__ = [
+    "FX_RATES_PER_EUR",
+    "to_eur_cents",
+    "format_amount",
+    "ExtractedPrice",
+    "extract_price",
+]

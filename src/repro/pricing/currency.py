@@ -1,0 +1,66 @@
+"""Currency conversion and locale-aware price formatting.
+
+The FX table is fixed (mid-2023 rates, matching the paper's 3 € ≈
+3.25 USD conversion) so that formatting and extraction invert exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+#: Units of currency per 1 EUR.
+FX_RATES_PER_EUR: Dict[str, float] = {
+    "EUR": 1.0,
+    "USD": 1.0833,
+    "GBP": 0.87,
+    "CHF": 0.97,
+    "AUD": 1.63,
+    "BRL": 5.40,
+    "INR": 90.0,
+    "CNY": 7.80,
+    "ZAR": 20.0,
+    "SEK": 11.30,
+}
+
+#: How each currency is customarily rendered in banner copy.
+_SYMBOLS: Dict[str, str] = {
+    "EUR": "€",
+    "USD": "$",
+    "GBP": "£",
+    "CHF": "CHF",
+    "AUD": "AU$",
+    "BRL": "R$",
+    "INR": "Rs",
+    "CNY": "CNY",
+    "ZAR": "R",
+    "SEK": "kr",
+}
+
+
+def convert_from_eur_cents(eur_cents: int, currency: str) -> int:
+    """EUR cents → target-currency cents (rounded)."""
+    rate = FX_RATES_PER_EUR[currency]
+    return int(round(eur_cents * rate))
+
+
+def to_eur_cents(amount_cents: int, currency: str) -> int:
+    """Target-currency cents → EUR cents (rounded)."""
+    rate = FX_RATES_PER_EUR[currency]
+    return int(round(amount_cents / rate))
+
+
+def format_amount(amount_cents: int, currency: str, *, locale: str = "en") -> str:
+    """Render an amount the way banner copy does.
+
+    German-style locales use a decimal comma and trailing symbol
+    ("2,99 €"); English-style ones a leading symbol ("$3.25").
+    """
+    units, cents = divmod(amount_cents, 100)
+    symbol = _SYMBOLS[currency]
+    if locale in ("de", "fr", "it", "es", "nl", "da", "sv", "pt"):
+        number = f"{units},{cents:02d}"
+        return f"{number} {symbol}"
+    number = f"{units}.{cents:02d}"
+    if symbol in ("CHF", "Rs", "CNY", "kr"):
+        return f"{symbol} {number}"
+    return f"{symbol}{number}"

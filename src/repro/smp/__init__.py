@@ -1,0 +1,11 @@
+"""Subscription Management Platforms (paper §4.4).
+
+contentpass and freechoice offer website operators hosted cookiewalls:
+visitors either accept tracking or buy one subscription valid on every
+partner site.  This package models the platforms — accounts,
+subscriptions, login, and the loader script partner sites embed.
+"""
+
+from repro.smp.platform import SMPAccount, SMPPlatform, SMPServer
+
+__all__ = ["SMPAccount", "SMPPlatform", "SMPServer"]

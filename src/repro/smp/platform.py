@@ -1,0 +1,168 @@
+"""SMP platform model: accounts, subscriptions, and the loader server."""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.browser.effects import encode_effects
+from repro.errors import AuthenticationError
+from repro.httpkit import Request, Response, parse_cookie_header
+from repro.netsim import OriginServer, VisitorContext
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.webgen.spec import SiteSpec
+
+
+@dataclass
+class SMPAccount:
+    """One customer account on a platform."""
+
+    email: str
+    password: str
+    subscribed: bool = False
+
+    @property
+    def token(self) -> str:
+        digest = hashlib.sha256(f"{self.email}:{self.password}".encode())
+        return digest.hexdigest()[:24]
+
+
+@dataclass
+class SMPPlatform:
+    """A Subscription Management Platform (contentpass / freechoice)."""
+
+    name: str
+    domain: str
+    monthly_price_cents: int = 299
+    accounts: Dict[str, SMPAccount] = field(default_factory=dict)
+    partner_domains: List[str] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Account management (what the paper did manually: create an
+    # account and buy a one-month subscription, §4.4)
+    # ------------------------------------------------------------------
+    def create_account(self, email: str, password: str) -> SMPAccount:
+        if email in self.accounts:
+            raise AuthenticationError(f"account {email!r} already exists")
+        account = SMPAccount(email=email, password=password)
+        self.accounts[email] = account
+        return account
+
+    def purchase_subscription(self, email: str) -> None:
+        account = self.accounts.get(email)
+        if account is None:
+            raise AuthenticationError(f"no account {email!r}")
+        account.subscribed = True
+
+    def verify(self, email: str, password: str) -> SMPAccount:
+        account = self.accounts.get(email)
+        if account is None or account.password != password:
+            raise AuthenticationError("invalid credentials")
+        return account
+
+    def account_for_token(self, token: str) -> Optional[SMPAccount]:
+        for account in self.accounts.values():
+            if account.token == token:
+                return account
+        return None
+
+    @property
+    def session_cookie(self) -> str:
+        return f"{self.name}_session"
+
+    @property
+    def subscriber_cookie(self) -> str:
+        """First-party cookie the loader sets on subscribed partners."""
+        return f"{self.name}_subscriber"
+
+
+class SMPServer(OriginServer):
+    """The platform's web server (login, checkout, loader script).
+
+    The loader (``/loader.js?site=X``, embedded by partner sites) is the
+    heart of the accept-or-pay flow: with a valid subscription session
+    it marks the page as subscribed (no wall, and the site serves no
+    ads); otherwise it injects the cookiewall.
+    """
+
+    def __init__(self, platform: SMPPlatform, sites: Dict[str, "SiteSpec"]) -> None:
+        self.platform = platform
+        self.sites = sites
+
+    def handle(self, request: Request, visitor: VisitorContext) -> Response:
+        path = request.url.path
+        if path.startswith("/login"):
+            return self._login(request)
+        if path.startswith("/loader.js"):
+            return self._loader(request, visitor)
+        if path.startswith("/checkout"):
+            return self.html(
+                request,
+                f"<html><body><h1>{self.platform.name}</h1>"
+                f"<p>All partner sites, ad-free, for 2,99 € im Monat.</p>"
+                f"</body></html>",
+            )
+        return self.not_found(request)
+
+    # ------------------------------------------------------------------
+    def _login(self, request: Request) -> Response:
+        params = request.url.query_params
+        try:
+            account = self.platform.verify(
+                params.get("email", ""), params.get("password", "")
+            )
+        except AuthenticationError:
+            return self.html(request, "<p>Login failed</p>", status=401)
+        response = self.html(request, "<p>Logged in</p>")
+        response.add_cookie(
+            f"{self.platform.session_cookie}={account.token}; "
+            f"Domain={self.platform.domain}; Max-Age=2592000"
+        )
+        return response
+
+    def _loader(self, request: Request, visitor: VisitorContext) -> Response:
+        # Imported here: repro.webgen imports repro.smp at module load,
+        # so the template import must stay out of this module's top level.
+        from repro.webgen.cookiewalls import wall_markup
+
+        spec = self.sites.get(request.url.query_params.get("site", ""))
+        if spec is None or spec.wall is None:
+            return self.effects(request, encode_effects([]))
+        cookies = parse_cookie_header(request.headers.get("cookie"))
+        token = cookies.get(self.platform.session_cookie, "")
+        account = self.platform.account_for_token(token) if token else None
+        response: Response
+        if visitor.vp.code not in spec.wall.regions:
+            # The platform geo-gates walls the same way the site would.
+            response = self.effects(request, encode_effects([]))
+        elif account is not None and account.subscribed:
+            effects = [
+                {
+                    "op": "set-page-cookie",
+                    "name": self.platform.subscriber_cookie,
+                    "value": "1",
+                    "scope": "site",
+                    "max_age": 2592000,
+                },
+                {"op": "set-flag", "key": "smp_subscriber", "value": True},
+            ]
+            response = self.effects(request, encode_effects(effects))
+        else:
+            effects = [
+                {"op": "append-html", "html": wall_markup(spec)},
+                {"op": "lock-scroll"},
+            ]
+            response = self.effects(request, encode_effects(effects))
+        # The loader always pings home (metrics + frequency-capping
+        # cookies on the SMP domain — non-tracking third-party cookies).
+        response.add_cookie(
+            f"{self.platform.name}_metrics=m{hash(spec.domain) & 0xffff}; "
+            f"Domain={self.platform.domain}; Max-Age=86400"
+        )
+        response.add_cookie(
+            f"{self.platform.name}_fc=f1; "
+            f"Domain={self.platform.domain}; Max-Age=604800"
+        )
+        return response

@@ -1,0 +1,102 @@
+"""An embedded subset of the Public Suffix List (PSL).
+
+The real PSL is ~10k rules; the synthetic web only uses the suffixes
+below, which cover every TLD the paper's measurement encountered
+(notably ``.de`` plus generic TLDs and a few other ccTLDs) as well as
+common multi-label suffixes so the registrable-domain logic is
+exercised on realistic inputs (``example.co.uk`` etc.).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+#: Suffixes ordered by specificity at lookup time (longest match wins).
+PUBLIC_SUFFIXES = frozenset(
+    {
+        # Generic TLDs.
+        "com", "net", "org", "info", "biz", "news", "club", "online",
+        "io", "co", "app", "dev", "blog", "shop", "site", "website",
+        "email", "cloud", "tv",
+        # Vantage-point country TLDs.
+        "de", "se", "us", "in", "br", "za", "au",
+        # Other ccTLDs seen in the paper's results.
+        "it", "at", "fr", "es", "ch", "uk", "nl", "dk", "no", "pl", "pt",
+        "eu", "be", "fi",
+        # Multi-label public suffixes (longest-match logic).
+        "co.uk", "org.uk", "ac.uk", "com.au", "net.au", "org.au",
+        "com.br", "net.br", "org.br", "co.za", "org.za", "web.za",
+        "co.in", "net.in", "org.in", "gov.in",
+    }
+)
+
+_MAX_SUFFIX_LABELS = max(s.count(".") + 1 for s in PUBLIC_SUFFIXES)
+
+
+def _normalize_host(host: str) -> str:
+    host = host.strip().lower().rstrip(".")
+    return host
+
+
+def is_public_suffix(host: str) -> bool:
+    """Return True if *host* itself is a public suffix (e.g. ``co.uk``)."""
+    return _normalize_host(host) in PUBLIC_SUFFIXES
+
+
+def public_suffix(host: str) -> Optional[str]:
+    """Return the longest matching public suffix of *host*, or None.
+
+    >>> public_suffix("news.example.co.uk")
+    'co.uk'
+    >>> public_suffix("localhost") is None
+    True
+    """
+    host = _normalize_host(host)
+    if not host:
+        return None
+    labels = host.split(".")
+    # Try the longest candidate suffix first.
+    for take in range(min(_MAX_SUFFIX_LABELS, len(labels)), 0, -1):
+        candidate = ".".join(labels[-take:])
+        if candidate in PUBLIC_SUFFIXES:
+            return candidate
+    return None
+
+
+def registrable_domain(host: str) -> Optional[str]:
+    """Return the eTLD+1 of *host* (the "registrable domain").
+
+    Returns None for IP addresses, bare suffixes, and hosts with an
+    unknown TLD — mirroring how domain-based cookie policies treat
+    such hosts (no cross-host cookie sharing possible).
+
+    >>> registrable_domain("www.spiegel.de")
+    'spiegel.de'
+    >>> registrable_domain("a.b.example.co.uk")
+    'example.co.uk'
+    >>> registrable_domain("co.uk") is None
+    True
+    """
+    host = _normalize_host(host)
+    if not host or _looks_like_ip(host):
+        return None
+    suffix = public_suffix(host)
+    if suffix is None or suffix == host:
+        return None
+    suffix_labels = suffix.count(".") + 1
+    labels = host.split(".")
+    if len(labels) <= suffix_labels:
+        return None
+    return ".".join(labels[-(suffix_labels + 1):])
+
+
+def _looks_like_ip(host: str) -> bool:
+    parts = host.split(".")
+    if len(parts) != 4:
+        return False
+    for part in parts:
+        if not part.isdigit():
+            return False
+        if not 0 <= int(part) <= 255:
+            return False
+    return True

@@ -1,0 +1,17 @@
+"""Vantage points and privacy regulations (paper §3, Table 1)."""
+
+from repro.vantage.points import (
+    VANTAGE_POINTS,
+    VP_ORDER,
+    VantagePoint,
+    get_vantage_point,
+)
+from repro.vantage.regulation import Regulation
+
+__all__ = [
+    "VantagePoint",
+    "VANTAGE_POINTS",
+    "VP_ORDER",
+    "get_vantage_point",
+    "Regulation",
+]

@@ -1,0 +1,38 @@
+"""Privacy regulation regimes relevant to banner behaviour.
+
+GDPR requires *opt-in* consent before storing personal data, so
+GDPR-region visitors are shown consent banners.  CCPA is *opt-out*
+(banners optional, often a small notice), LGPD sits in between.
+Websites in the synthetic web use these regimes to decide whether to
+render a banner/cookiewall for a visitor, mirroring the geo-dependent
+behaviour the paper observed (EU vantage points see ~280 cookiewalls,
+non-EU ones ~190-200).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Regulation(enum.Enum):
+    """A data protection regime in force at a vantage point."""
+
+    GDPR = "gdpr"
+    CCPA = "ccpa"
+    LGPD = "lgpd"
+    NONE = "none"
+
+    @property
+    def requires_opt_in(self) -> bool:
+        """True when consent must be collected before tracking."""
+        return self is Regulation.GDPR
+
+    @property
+    def requires_opt_out(self) -> bool:
+        """True when users must merely be able to object."""
+        return self in (Regulation.CCPA, Regulation.LGPD)
+
+    @property
+    def banner_expected(self) -> bool:
+        """True when websites typically render a consent banner."""
+        return self is not Regulation.NONE

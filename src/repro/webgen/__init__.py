@@ -1,0 +1,23 @@
+"""The synthetic web: a deterministic population of websites.
+
+This package generates the world the measurement runs against —
+toplists, websites with banners/cookiewalls, the tracker ecosystem,
+CMP/SMP servers — calibrated so that the *population marginals* match
+what the paper reports (prevalence per country/TLD/language, price
+distribution, SMP partner counts, tracker fan-out).  Every result is
+still measured by running the real detection pipeline against rendered
+pages; nothing is read back from ground truth during measurement.
+"""
+
+from repro.webgen.config import WorldConfig
+from repro.webgen.spec import BannerKind, SiteSpec, WallSpec
+from repro.webgen.world import World, build_world
+
+__all__ = [
+    "WorldConfig",
+    "World",
+    "build_world",
+    "SiteSpec",
+    "WallSpec",
+    "BannerKind",
+]

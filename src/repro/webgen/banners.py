@@ -1,0 +1,130 @@
+"""Regular cookie-banner markup in every site language (paper Fig. 8).
+
+The templates intentionally vary wording per language; BannerClick's
+multi-language word corpus (:mod:`repro.bannerclick.corpus`) must find
+them, exactly as the real tool's corpus finds real-world banners.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+#: (banner text, accept label, reject label, settings label) per language.
+_TEXTS: Dict[str, Tuple[str, str, str, str]] = {
+    "de": (
+        "Wir verwenden Cookies, um Inhalte und Anzeigen zu personalisieren "
+        "und unseren Datenverkehr zu analysieren. Mit Klick auf "
+        "„Alle akzeptieren“ stimmen Sie der Verarbeitung zu.",
+        "Alle akzeptieren", "Ablehnen", "Einstellungen",
+    ),
+    "en": (
+        "We use cookies to personalise content and ads and to analyse our "
+        "traffic. By clicking “Accept all” you consent to the "
+        "processing of your data.",
+        "Accept all", "Reject all", "Manage settings",
+    ),
+    "it": (
+        "Utilizziamo i cookie per personalizzare contenuti e annunci e per "
+        "analizzare il nostro traffico. Cliccando su “Accetta tutto” "
+        "acconsenti al trattamento.",
+        "Accetta tutto", "Rifiuta", "Impostazioni",
+    ),
+    "sv": (
+        "Vi använder cookies (kakor) för att anpassa innehåll "
+        "och annonser och för att analysera vår trafik. Genom att "
+        "klicka på ”Godkänn alla” samtycker du.",
+        "Godkänn alla", "Avvisa alla", "Inställningar",
+    ),
+    "fr": (
+        "Nous utilisons des cookies pour personnaliser le contenu et les "
+        "publicités et pour analyser notre trafic. En cliquant sur "
+        "« Tout accepter », vous consentez au traitement.",
+        "Tout accepter", "Tout refuser", "Paramètres",
+    ),
+    "es": (
+        "Utilizamos cookies para personalizar el contenido y los anuncios "
+        "y para analizar nuestro tráfico. Al hacer clic en "
+        "“Aceptar todo” consientes el tratamiento.",
+        "Aceptar todo", "Rechazar todo", "Configuración",
+    ),
+    "pt": (
+        "Usamos cookies para personalizar conteúdo e anúncios e "
+        "para analisar nosso tráfego. Ao clicar em “Aceitar "
+        "tudo”, você consente com o processamento.",
+        "Aceitar tudo", "Rejeitar tudo", "Configurações",
+    ),
+    "nl": (
+        "Wij gebruiken cookies om inhoud en advertenties te personaliseren "
+        "en ons verkeer te analyseren. Door op „Alles accepteren” "
+        "te klikken stemt u in met de verwerking.",
+        "Alles accepteren", "Weigeren", "Instellingen",
+    ),
+    "da": (
+        "Vi bruger cookies til at tilpasse indhold og annoncer og til at "
+        "analysere vores trafik. Ved at klikke på ”Accepter "
+        "alle” giver du dit samtykke.",
+        "Accepter alle", "Afvis alle", "Indstillinger",
+    ),
+    "zu": (
+        "Sisebenzisa ama-cookie ukuze senze okuqukethwe nezikhangiso "
+        "zibe ngezakho futhi sihlaziye ukuhamba kwethu. Ngokuchofoza "
+        "“Vuma konke” uyavuma.",
+        "Vuma konke", "Yala konke", "Izilungiselelo",
+    ),
+}
+
+#: Bait sentences (German): a *regular* banner that mentions a paid
+#: subscription — the detector's currency/subscription word search will
+#: flag it, producing the paper's 5 false positives (§3, precision 98.2%).
+_BAIT_SENTENCE = (
+    "Unterstützen Sie unabhängigen Journalismus: "
+    "Unser Digital-Abo gibt es schon ab 3,99 € im Monat."
+)
+
+
+def banner_texts(language: str) -> Tuple[str, str, str, str]:
+    """(text, accept, reject, settings) for a language (en fallback)."""
+    return _TEXTS.get(language, _TEXTS["en"])
+
+
+def regular_banner_html(
+    language: str,
+    *,
+    consent_cookie: str = "cmp_consent",
+    reject_button: bool = True,
+    bait: bool = False,
+    variant: int = 0,
+    cmp_id: int = 0,
+) -> str:
+    """Markup for a regular consent banner.
+
+    ``variant`` rotates id/class names so the detector cannot key on a
+    single fixed attribute (real banners differ per CMP).  A non-zero
+    ``cmp_id`` marks the buttons as CMP-backed: clicking them persists
+    an IAB-TCF-style consent string instead of a plain marker.
+    """
+    text, accept, reject, settings = banner_texts(language)
+    if bait:
+        text = f"{text} {_BAIT_SENTENCE}"
+    container_class = ("cookie-banner", "cmp-container", "consent-notice",
+                       "privacy-prompt")[variant % 4]
+    container_id = ("cmp-banner", "cookie-consent", "gdpr-notice",
+                    "consent-box")[variant % 4]
+    cmp_attr = f' data-cmp-id="{cmp_id}"' if cmp_id else ""
+    parts = [
+        f'<div id="{container_id}" class="{container_class}" '
+        f'data-banner="1" role="dialog">',
+        f"<p>{text}</p>",
+        f'<button data-action="accept" data-cookie="{consent_cookie}"'
+        f'{cmp_attr} class="btn-accept">{accept}</button>',
+    ]
+    if reject_button:
+        parts.append(
+            f'<button data-action="reject" data-cookie="{consent_cookie}"'
+            f'{cmp_attr} class="btn-reject">{reject}</button>'
+        )
+    parts.append(
+        f'<button data-action="dismiss" class="btn-settings">{settings}</button>'
+    )
+    parts.append("</div>")
+    return "".join(parts)

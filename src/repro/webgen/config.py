@@ -1,0 +1,313 @@
+"""World calibration: every constant traces back to a paper number.
+
+The full-scale world reproduces the paper's population marginals
+(§4.1–§4.5).  A ``scale`` factor shrinks everything proportionally
+(largest-remainder apportionment keeps totals consistent) so tests can
+run on a ~1k-site world while benchmarks use the full 45k-site one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import WorldGenerationError
+
+#: Toplist countries (US contributes one list although two VPs use it).
+COUNTRIES: Tuple[str, ...] = ("US", "BR", "DE", "SE", "ZA", "IN", "AU")
+
+#: Visibility classes for cookiewalls.
+VIS_EU_ONLY = "eu-only"
+VIS_DE_ONLY = "de-only"
+VIS_GLOBAL = "global"
+
+#: Wall cohorts: (count, toplist country, tld, language, visibility).
+#: Joint allocation whose marginals match Table 1 / §4.1:
+#:   toplist:  DE 259, SE 15, AU 5, BR 1
+#:   ccTLD:    de 233, com 14, net 14, it 6, at 4, org 4, fr 2,
+#:             es/info/news 1 each
+#:   language: de 253, en 10, it 6, fr 3, es 1, nl 4, da 3
+#:   visibility: 76 EU-only, 4 DE-only, 200 global
+WALL_COHORTS: Tuple[Tuple[int, str, str, str, str], ...] = (
+    # --- German toplist (259) ---
+    (4,   "DE", "de",   "de", VIS_DE_ONLY),
+    (71,  "DE", "de",   "de", VIS_EU_ONLY),
+    (158, "DE", "de",   "de", VIS_GLOBAL),
+    (2,   "DE", "at",   "de", VIS_EU_ONLY),
+    (2,   "DE", "at",   "de", VIS_GLOBAL),
+    (2,   "DE", "it",   "it", VIS_EU_ONLY),
+    (4,   "DE", "it",   "it", VIS_GLOBAL),
+    (2,   "DE", "fr",   "fr", VIS_GLOBAL),
+    (1,   "DE", "es",   "es", VIS_GLOBAL),
+    (1,   "DE", "info", "de", VIS_GLOBAL),
+    (1,   "DE", "news", "en", VIS_GLOBAL),   # the US-hidden English wall
+    (2,   "DE", "com",  "de", VIS_GLOBAL),
+    (2,   "DE", "com",  "nl", VIS_GLOBAL),
+    (4,   "DE", "net",  "de", VIS_GLOBAL),
+    (2,   "DE", "net",  "nl", VIS_GLOBAL),
+    (1,   "DE", "org",  "de", VIS_GLOBAL),
+    # --- Swedish toplist (15) ---
+    (4,   "SE", "com",  "de", VIS_GLOBAL),
+    (2,   "SE", "com",  "en", VIS_GLOBAL),
+    (1,   "SE", "com",  "da", VIS_GLOBAL),
+    (3,   "SE", "net",  "de", VIS_GLOBAL),
+    (2,   "SE", "net",  "da", VIS_GLOBAL),
+    (1,   "SE", "net",  "en", VIS_GLOBAL),
+    (1,   "SE", "org",  "en", VIS_GLOBAL),
+    (1,   "SE", "org",  "fr", VIS_GLOBAL),
+    # --- Australian toplist (5) ---
+    (3,   "AU", "com",  "en", VIS_GLOBAL),
+    (2,   "AU", "net",  "en", VIS_GLOBAL),
+    # --- Brazilian toplist (1): the pt.climate-data.org analogue,
+    #     German-operated, only walls for EU visitors (§4.1 footnote 2).
+    (1,   "BR", "org",  "de", VIS_EU_ONLY),
+)
+
+#: Per-VP exclusion counts carving Table 1's non-EU detections out of
+#: the 200 globally-visible walls: USE 197, USW 199, BR 196, ZA 199,
+#: IN 192, AU 190.  The ".news" English wall is hidden from both US
+#: VPs so their language column reads 9 while IN/AU read 10.
+VP_EXCLUSIONS: Dict[str, int] = {
+    "USE": 3, "USW": 1, "BR": 4, "ZA": 1, "IN": 8, "AU": 10,
+}
+
+#: Wall embedding mix (§3): 76 shadow DOM (20 of them closed),
+#: 132 iframe, 72 main document.
+PLACEMENT_MIX: Dict[str, int] = {
+    "shadow-open": 56,
+    "shadow-closed": 20,
+    "iframe": 132,
+    "main": 72,
+}
+
+#: How the wall reaches the page (drives §4.5 uBlock results):
+#: SMP/listed-CMP-served walls are blocked (196 = 70%), inline and
+#: unlisted-CMP walls survive (84).
+SERVING_MIX: Dict[str, int] = {
+    "smp:contentpass": 76,
+    "smp:freechoice": 62,
+    "cmp-listed": 58,
+    "cmp-unlisted": 20,
+    "inline": 64,
+}
+
+#: Monthly price buckets (€) per TLD — Figure 2's heatmap.  SMP-served
+#: walls are priced 2.99 € by their platform and all sit in the .de
+#: bucket-3 cell (155 = 138 SMP partners + 17 independents).
+PRICE_MATRIX: Dict[str, Dict[int, int]] = {
+    "de":   {1: 4, 2: 23, 3: 155, 4: 23, 5: 22, 6: 1, 7: 1, 8: 1, 9: 3},
+    "com":  {2: 1, 3: 9, 4: 1, 5: 2, 9: 1},
+    "net":  {2: 8, 3: 5, 4: 1},
+    "it":   {1: 3, 2: 2, 3: 1},
+    "at":   {2: 1, 3: 1, 4: 1, 5: 1},
+    "org":  {3: 4},
+    "fr":   {3: 1, 4: 1},
+    "es":   {6: 1},
+    "info": {9: 1},
+    "news": {10: 1},
+}
+
+#: Figure 1 category shares for cookiewall sites (must sum to 1).
+WALL_CATEGORY_SHARES: Tuple[Tuple[str, float], ...] = (
+    ("News and Media", 0.27),
+    ("Business", 0.09),
+    ("Information Technology", 0.07),
+    ("Entertainment", 0.065),
+    ("Sports", 0.06),
+    ("Reference", 0.055),
+    ("Society and Lifestyles", 0.05),
+    ("Search Engines and Portals", 0.045),
+    ("Health and Wellness", 0.04),
+    ("Games", 0.035),
+    ("Web-based Email", 0.03),
+    ("Travel", 0.03),
+    ("Personal Vehicles", 0.025),
+    ("Restaurant and Dining", 0.025),
+    ("Finance and Banking", 0.02),
+    ("Others", 0.085),
+)
+
+#: Background category shares for non-wall sites.
+GENERIC_CATEGORY_SHARES: Tuple[Tuple[str, float], ...] = (
+    ("Business", 0.16),
+    ("Shopping", 0.12),
+    ("News and Media", 0.10),
+    ("Information Technology", 0.09),
+    ("Entertainment", 0.08),
+    ("Reference", 0.07),
+    ("Education", 0.06),
+    ("Society and Lifestyles", 0.05),
+    ("Sports", 0.05),
+    ("Travel", 0.04),
+    ("Health and Wellness", 0.04),
+    ("Games", 0.04),
+    ("Finance and Banking", 0.04),
+    ("Government", 0.03),
+    ("Streaming Media", 0.03),
+    ("Others", 0.10),
+)
+
+#: Languages per toplist country for ordinary (non-wall) sites.
+COUNTRY_LANGUAGES: Dict[str, Tuple[Tuple[str, float], ...]] = {
+    "US": (("en", 1.0),),
+    "BR": (("pt", 0.95), ("en", 0.05)),
+    "DE": (("de", 0.93), ("en", 0.07)),
+    "SE": (("sv", 0.88), ("en", 0.12)),
+    "ZA": (("en", 0.7), ("zu", 0.3)),
+    "IN": (("en", 1.0),),
+    "AU": (("en", 1.0),),
+}
+
+#: ccTLD per toplist country for ordinary sites (+ generic spillover).
+COUNTRY_TLDS: Dict[str, Tuple[Tuple[str, float], ...]] = {
+    "US": (("com", 0.72), ("org", 0.12), ("net", 0.10), ("io", 0.06)),
+    "BR": (("com.br", 0.7), ("br", 0.12), ("com", 0.18)),
+    "DE": (("de", 0.78), ("com", 0.14), ("net", 0.05), ("org", 0.03)),
+    "SE": (("se", 0.74), ("com", 0.18), ("net", 0.05), ("org", 0.03)),
+    "ZA": (("co.za", 0.66), ("com", 0.26), ("org", 0.08)),
+    "IN": (("in", 0.5), ("com", 0.42), ("org", 0.08)),
+    "AU": (("com.au", 0.62), ("au", 0.1), ("com", 0.22), ("net", 0.06)),
+}
+
+
+@dataclass(frozen=True)
+class CookieProfile:
+    """Parameters for a site's cookie behaviour (medians are targets).
+
+    ``fp_plain``: first-party cookies set before any consent;
+    ``fp_consented``: total first-party cookies once consent is given;
+    ``ad_partners``: how many ad networks load after consent;
+    ``sync_rate``: chance an ad partner chain-loads one sync pixel;
+    ``cdn_partners``: benign third parties (cookies not tracking-listed);
+    ``extra_ads_max``: per-visit jitter in additional ad partners.
+    """
+
+    fp_plain: int
+    fp_consented: int
+    ad_partners: int
+    sync_rate: float
+    cdn_partners: int
+    extra_ads_max: int
+
+
+@dataclass(frozen=True)
+class WorldConfig:
+    """Knobs for :func:`repro.webgen.world.build_world`."""
+
+    seed: int = 2023
+    #: 1.0 = the paper-scale world (45k reachable sites).
+    scale: float = 1.0
+
+    # -- population structure (full-scale values) ----------------------
+    list_size: int = 10_000          # entries per country toplist
+    top_bucket: int = 1_000          # CrUX-style "top 1k" bucket size
+    global_sites: int = 3_000        # sites on all 7 toplists
+    biregional_sites: int = 2_250    # sites on exactly 2 toplists
+    unreachable_sites: int = 4_528   # dead sites (reachable union 45,222)
+
+    # -- cookiewall population ------------------------------------------
+    total_walls: int = 280
+    bait_sites: int = 5              # false-positive bait (banner with €)
+
+    # -- SMP rosters (§4.4): total partners (incl. off-toplist ones) ----
+    contentpass_partners: int = 219  # 76 on the toplists
+    freechoice_partners: int = 167   # 62 on the toplists
+    smp_price_cents: int = 299       # 2.99 € / month
+
+    # -- bot detection (paper §3 Limitations) ---------------------------
+    #: Fraction of sites that serve a challenge page to naive crawlers.
+    bot_sensitive_rate: float = 0.02
+
+    # -- regular-banner behaviour ---------------------------------------
+    banner_rate_eu_list: float = 0.82   # DE/SE-list sites show banners
+    banner_rate_other: float = 0.55     # other sites, to EU visitors
+    banner_everywhere_rate: float = 0.18  # of banner sites: banner for all
+    reject_button_rate: float = 0.74    # banners that also offer reject
+
+    # -- cookie profiles (calibrated to §4.3 / Figure 4+5 medians) ------
+    profile_regular: CookieProfile = CookieProfile(
+        fp_plain=4, fp_consented=15, ad_partners=1, sync_rate=0.15,
+        cdn_partners=3, extra_ads_max=0,
+    )
+    profile_wall: CookieProfile = CookieProfile(
+        fp_plain=5, fp_consented=20, ad_partners=13, sync_rate=0.9,
+        cdn_partners=4, extra_ads_max=4,
+    )
+    profile_smp_partner: CookieProfile = CookieProfile(
+        fp_plain=6, fp_consented=13, ad_partners=5, sync_rate=0.5,
+        cdn_partners=3, extra_ads_max=2,
+    )
+
+    def __post_init__(self) -> None:
+        if not 0 < self.scale <= 1.0:
+            raise WorldGenerationError("scale must be in (0, 1]")
+        if self.total_walls != sum(c[0] for c in WALL_COHORTS):
+            raise WorldGenerationError("wall cohorts do not sum to total_walls")
+
+    # ------------------------------------------------------------------
+    # Scaling helpers
+    # ------------------------------------------------------------------
+    def scaled(self, value: int, minimum: int = 0) -> int:
+        """Scale an absolute count, keeping at least *minimum*."""
+        return max(int(round(value * self.scale)), minimum)
+
+    @property
+    def n_list_size(self) -> int:
+        return self.scaled(self.list_size, minimum=30)
+
+    @property
+    def n_top_bucket(self) -> int:
+        return max(self.n_list_size // 10, 3)
+
+    @property
+    def n_global(self) -> int:
+        return self.scaled(self.global_sites, minimum=5)
+
+    @property
+    def n_biregional(self) -> int:
+        return self.scaled(self.biregional_sites, minimum=len(COUNTRIES))
+
+    @property
+    def n_walls(self) -> int:
+        return self.scaled(self.total_walls, minimum=6)
+
+    @property
+    def n_bait(self) -> int:
+        return self.scaled(self.bait_sites, minimum=1)
+
+    @property
+    def n_unreachable(self) -> int:
+        return self.scaled(self.unreachable_sites)
+
+    @property
+    def n_contentpass(self) -> int:
+        return self.scaled(self.contentpass_partners, minimum=4)
+
+    @property
+    def n_freechoice(self) -> int:
+        return self.scaled(self.freechoice_partners, minimum=3)
+
+
+def apportion(weights: "List[float] | Dict", total: int):
+    """Largest-remainder apportionment of *total* over *weights*.
+
+    Accepts a list of weights (returns a list of ints) or a dict
+    (returns a dict with the same keys).  Guarantees the result sums to
+    *total* and each entry is >= 0.
+    """
+    if isinstance(weights, dict):
+        keys = list(weights)
+        values = apportion([weights[k] for k in keys], total)
+        return dict(zip(keys, values))
+    weight_sum = float(sum(weights))
+    if weight_sum <= 0:
+        raise WorldGenerationError("apportion() needs positive weights")
+    raw = [w / weight_sum * total for w in weights]
+    floors = [int(x) for x in raw]
+    remainder = total - sum(floors)
+    order = sorted(
+        range(len(raw)), key=lambda i: (raw[i] - floors[i]), reverse=True
+    )
+    for i in order[:remainder]:
+        floors[i] += 1
+    return floors

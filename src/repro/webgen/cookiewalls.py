@@ -1,0 +1,162 @@
+"""Cookiewall markup: accept-or-pay dialogs in several languages.
+
+Every template contains (a) a subscription word from the paper's
+cookiewall corpus (abo/abonnent/abbonamento/abonne/abonné/ad-free/
+subscribe — §3) and/or (b) a currency-amount combination, because that
+is what real walls contain and what the detector searches for.  The
+Spanish template deliberately carries no corpus subscription word so
+the currency-pattern path of the classifier is exercised.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Tuple
+
+from repro.pricing.currency import convert_from_eur_cents, format_amount
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.webgen.spec import SiteSpec, WallSpec
+
+#: (intro with {site}/{price}/{period}, accept label, subscribe label).
+_TEXTS: Dict[str, Tuple[str, str, str]] = {
+    "de": (
+        "Weiterlesen mit Werbung und Tracking – oder buchen Sie das "
+        "werbefreie {site} Pur-Abo für nur {price} {period}. "
+        "Als Abonnent surfen Sie ohne personalisierte Werbung.",
+        "Mit Werbung weiterlesen", "Jetzt Abo abschließen",
+    ),
+    "en": (
+        "Keep reading with ads and tracking — or subscribe to the "
+        "ad-free {site} pass for just {price} {period}. "
+        "Subscribers browse without personalised advertising.",
+        "Accept and continue", "Subscribe now",
+    ),
+    "it": (
+        "Continua a leggere con la pubblicità – oppure attiva "
+        "l'abbonamento senza pubblicità di {site} a soli {price} "
+        "{period}.",
+        "Accetta e continua", "Abbonati ora",
+    ),
+    "fr": (
+        "Poursuivez votre lecture avec la publicité – ou devenez "
+        "abonné de {site} sans publicité pour {price} {period}.",
+        "Accepter et continuer", "S'abonner",
+    ),
+    # NB: no corpus subscription word — currency matching must catch it.
+    "es": (
+        "Sigue leyendo con publicidad – o consigue {site} sin "
+        "publicidad por {price} {period}.",
+        "Aceptar y continuar", "Contratar ahora",
+    ),
+    "nl": (
+        "Lees verder met advertenties – of neem een advertentievrij "
+        "abonnement op {site} voor {price} {period}.",
+        "Accepteren en verder", "Abonneren",
+    ),
+    "da": (
+        "Læs videre med annoncer – eller tegn et annoncefrit "
+        "abonnement på {site} for {price} {period}.",
+        "Accepter og fortsæt", "Tegn abonnement",
+    ),
+}
+
+_PERIOD_WORDS: Dict[str, Dict[str, str]] = {
+    "month": {
+        "de": "im Monat", "en": "per month", "it": "al mese",
+        "fr": "par mois", "es": "al mes", "nl": "per maand",
+        "da": "om måneden",
+    },
+    "year": {
+        "de": "im Jahr", "en": "per year", "it": "all'anno",
+        "fr": "par an", "es": "al año", "nl": "per jaar",
+        "da": "om året",
+    },
+}
+
+
+def displayed_price(wall: "WallSpec", language: str) -> str:
+    """The price string shown in the wall (currency + period applied)."""
+    cents = wall.monthly_price_cents
+    if wall.billing_period == "year":
+        cents *= 12
+    amount = convert_from_eur_cents(cents, wall.display_currency)
+    return format_amount(amount, wall.display_currency, locale=language)
+
+
+def wall_body_html(spec: "SiteSpec") -> str:
+    """The inner wall content (text + both buttons)."""
+    wall = spec.wall
+    assert wall is not None, "wall_body_html() needs a cookiewall site"
+    language = spec.language if spec.language in _TEXTS else "en"
+    intro, accept_label, subscribe_label = _TEXTS[language]
+    period = _PERIOD_WORDS[wall.billing_period].get(
+        language, _PERIOD_WORDS[wall.billing_period]["en"]
+    )
+    price = displayed_price(wall, language)
+    text = intro.format(site=spec.site_name, price=price, period=period)
+    subscribe_href = (
+        f"https://{wall.provider}/checkout?site={spec.domain}"
+        if wall.serving == "smp" and wall.provider
+        else f"https://{spec.domain}/subscribe"
+    )
+    return (
+        f'<div class="cw-content"><p class="cw-text">{text}</p>'
+        f'<button data-action="accept" data-cookie="{spec.consent_cookie}" '
+        f'class="cw-accept">{accept_label}</button>'
+        f'<button data-action="subscribe" data-href="{subscribe_href}" '
+        f'class="cw-subscribe">{subscribe_label}</button></div>'
+    )
+
+
+def _srcdoc_escape(html: str) -> str:
+    return html.replace("&", "&amp;").replace('"', "&quot;")
+
+
+def wall_markup(spec: "SiteSpec") -> str:
+    """Full wall markup for the site's placement (inline delivery).
+
+    The same markup is shipped inside ``append-html`` effects when the
+    wall is script-injected by a CMP/SMP.
+    """
+    wall = spec.wall
+    assert wall is not None
+    inner = wall_body_html(spec)
+    if wall.placement == "main":
+        return f'<div id="cw-wall" class="cw-overlay" data-banner="1">{inner}</div>'
+    if wall.placement == "iframe":
+        body = f"<html><body>{inner}</body></html>"
+        return (
+            f'<iframe id="cw-frame" data-banner="1" title="consent" '
+            f'srcdoc="{_srcdoc_escape(body)}"></iframe>'
+        )
+    mode = "closed" if wall.placement == "shadow-closed" else "open"
+    return (
+        f'<div id="cw-host" data-banner="1">'
+        f'<template shadowrootmode="{mode}">{inner}</template></div>'
+    )
+
+
+def remote_frame_markup(spec: "SiteSpec") -> str:
+    """An iframe pointing at the CMP's wall endpoint (remote delivery)."""
+    wall = spec.wall
+    assert wall is not None and wall.provider is not None
+    return (
+        f'<iframe id="cw-frame" data-banner="1" title="consent" '
+        f'src="https://cdn.{wall.provider}/frame?site={spec.domain}"></iframe>'
+    )
+
+
+def subscription_page_html(spec: "SiteSpec") -> str:
+    """The site's /subscribe landing page (used by price verification)."""
+    wall = spec.wall
+    assert wall is not None
+    language = spec.language if spec.language in _TEXTS else "en"
+    price = displayed_price(wall, language)
+    period = _PERIOD_WORDS[wall.billing_period].get(
+        language, _PERIOD_WORDS[wall.billing_period]["en"]
+    )
+    return (
+        f"<html><head><title>{spec.site_name}</title></head><body>"
+        f'<h1>{spec.site_name}</h1><p class="offer">{price} {period}</p>'
+        f'<button data-action="subscribe">OK</button></body></html>'
+    )

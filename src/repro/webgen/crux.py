@@ -1,0 +1,85 @@
+"""CrUX-style toplist export/import.
+
+Google's Chrome User Experience Report ships country toplists as CSV
+with *rank buckets* instead of exact ranks (paper §3).  This module
+writes the generated toplists in that shape and reads them back, so
+downstream users can plug the synthetic lists into existing pipelines
+(or plug real CrUX CSVs into this one).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, List, Tuple, Union
+
+from repro.errors import ParseError
+from repro.webgen.toplist import BUCKET_TOP1K, BUCKET_TOP10K, Toplist
+
+_HEADER = ("origin", "country", "rank_bucket")
+_BUCKET_TO_RANK = {BUCKET_TOP1K: 1000, BUCKET_TOP10K: 10000}
+_RANK_TO_BUCKET = {1000: BUCKET_TOP1K, 10000: BUCKET_TOP10K}
+
+
+def export_toplist(toplist: Toplist, path: Union[str, Path]) -> int:
+    """Write one toplist as a CrUX-like CSV; returns rows written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(_HEADER)
+        count = 0
+        for domain in toplist.domains():
+            bucket = toplist.bucket_of(domain) or BUCKET_TOP10K
+            writer.writerow(
+                (f"https://{domain}", toplist.country, _BUCKET_TO_RANK[bucket])
+            )
+            count += 1
+    return count
+
+
+def export_all(toplists: Dict[str, Toplist], directory: Union[str, Path]) -> List[Path]:
+    """Write every country list as ``crux_<CC>.csv``."""
+    directory = Path(directory)
+    paths = []
+    for country, toplist in sorted(toplists.items()):
+        path = directory / f"crux_{country.lower()}.csv"
+        export_toplist(toplist, path)
+        paths.append(path)
+    return paths
+
+
+def import_toplist(path: Union[str, Path]) -> Toplist:
+    """Read a CrUX-like CSV back into a :class:`Toplist`.
+
+    Rows must be ordered top bucket first (the export format is); the
+    top-bucket size is recovered from the rank_bucket column.
+    """
+    path = Path(path)
+    entries: List[Tuple[str, int]] = []
+    country = ""
+    with path.open("r", encoding="utf-8", newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header is None or tuple(header) != _HEADER:
+            raise ParseError(f"{path}: not a CrUX-style toplist CSV")
+        for line_number, row in enumerate(reader, start=2):
+            if len(row) != 3:
+                raise ParseError(f"{path}:{line_number}: malformed row {row!r}")
+            origin, row_country, rank_text = row
+            if not origin.startswith("https://"):
+                raise ParseError(f"{path}:{line_number}: bad origin {origin!r}")
+            try:
+                rank = int(rank_text)
+            except ValueError:
+                raise ParseError(
+                    f"{path}:{line_number}: bad rank bucket {rank_text!r}"
+                ) from None
+            if rank not in _RANK_TO_BUCKET:
+                raise ParseError(
+                    f"{path}:{line_number}: unknown rank bucket {rank}"
+                )
+            country = row_country
+            entries.append((origin[len("https://"):], rank))
+    top_bucket = sum(1 for _, rank in entries if rank == 1000)
+    return Toplist(country, [domain for domain, _ in entries], top_bucket or 1)

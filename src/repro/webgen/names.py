@@ -1,0 +1,89 @@
+"""Deterministic, language-flavoured domain name generation."""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Set
+
+_STEMS: Dict[str, List[str]] = {
+    "de": [
+        "nachrichten", "zeitung", "stadtanzeiger", "sportwelt", "wetter",
+        "boerse", "autohaus", "reisefieber", "kochstube", "technikblick",
+        "spielehalle", "gesundleben", "immowelt", "modetrend", "musikbox",
+        "heimwerker", "gartenzeit", "finanztipp", "lokalblatt", "kinowelt",
+        "buchecke", "familienzeit", "studienwahl", "jobboerse", "tierfreund",
+    ],
+    "en": [
+        "dailynews", "sportsline", "weatherhub", "marketwatcher", "autozone",
+        "travelnest", "cookbook", "technews", "gamerden", "healthline",
+        "homefinder", "fashionfeed", "musicbay", "moviegeek", "bookworm",
+        "jobsearch", "petcorner", "gardenlife", "financetips", "localvoice",
+        "campusdaily", "foodcritic", "streetstyle", "cityguide", "nightowl",
+    ],
+    "it": [
+        "giornale", "notizie", "sportivo", "meteoitalia", "borsaoggi",
+        "automondo", "viaggiare", "cucinare", "tecnologia", "saluteviva",
+    ],
+    "sv": [
+        "nyheter", "sportbladet", "vaderkollen", "borsliv", "bilvarlden",
+        "reselust", "matglad", "teknikkollen", "halsoliv", "bostadsnytt",
+    ],
+    "fr": [
+        "journal", "actualites", "sportif", "meteofrance", "boursier",
+        "automoto", "voyageur", "cuisinier", "technologie", "santevie",
+    ],
+    "es": [
+        "diario", "noticias", "deportivo", "tiempohoy", "bolsaviva",
+        "automundo", "viajero", "cocinar", "tecnologia", "saludhoy",
+    ],
+    "pt": [
+        "jornal", "noticias", "esportivo", "tempoagora", "bolsaviva",
+        "automundo", "viajante", "cozinhar", "tecnologia", "saudeviva",
+    ],
+    "nl": [
+        "nieuwsblad", "sportwereld", "weerbericht", "beurskoers",
+        "autowereld", "reislust", "kookplezier", "techniek", "gezondleven",
+        "woonnieuws",
+    ],
+    "da": [
+        "nyhederne", "sportsliv", "vejrudsigt", "borsnyt", "bilverden",
+        "rejselyst", "madglad", "teknikfokus", "sundliv", "boligny",
+    ],
+    "zu": [
+        "izindaba", "ezemidlalo", "isimozulu", "imakethe", "izimoto",
+        "uhambo", "ukupheka", "ubuchwepheshe", "impilo", "ikhaya",
+    ],
+}
+
+_SUFFIXES = [
+    "", "24", "-online", "portal", "aktuell", "plus", "direct", "zone",
+    "base", "point", "spot", "live", "now", "pro", "hq", "city", "land",
+]
+
+
+def make_domain(
+    rng: random.Random, language: str, tld: str, used: Set[str]
+) -> str:
+    """Generate a unique registrable domain for a language/TLD."""
+    stems = _STEMS.get(language, _STEMS["en"])
+    for _ in range(200):
+        stem = rng.choice(stems)
+        suffix = rng.choice(_SUFFIXES)
+        candidate = f"{stem}{suffix}.{tld}"
+        if candidate not in used:
+            used.add(candidate)
+            return candidate
+    # Dense namespace: fall back to numbered names (always unique).
+    counter = 1
+    stem = rng.choice(stems)
+    while f"{stem}{counter}.{tld}" in used:
+        counter += 1
+    candidate = f"{stem}{counter}.{tld}"
+    used.add(candidate)
+    return candidate
+
+
+def site_title(domain: str) -> str:
+    """A human-readable site name derived from the domain."""
+    label = domain.split(".")[0]
+    return label.replace("-", " ").title()

@@ -1,0 +1,275 @@
+"""The website origin server: renders pages per visitor state.
+
+One :class:`SiteServer` instance serves every generated website (routed
+by host).  Rendering is driven by the visitor's vantage point and the
+cookies carried on the request:
+
+- GDPR visitors without a consent cookie see the banner/cookiewall;
+  trackers are *not* in the page (opt-in).
+- After "accept" (consent cookie present) ad/analytics scripts render
+  and the tracker cascade sets its cookies.
+- Non-EU visitors of sites that only geo-target the EU get no banner
+  and immediate tracking (opt-out regimes).
+- Subscribed SMP visitors (subscriber cookie) get neither wall nor
+  trackers — unless a prior consent cookie exists, which keeps
+  tracking alive (the §5 "revoking acceptance" trap).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+from repro.browser.effects import encode_effects
+from repro.httpkit import Request, Response, parse_cookie_header
+from repro.lang.corpus import CORPORA
+from repro.netsim import OriginServer, VisitorContext
+from repro.rng import derive_seed
+from repro.urlkit import registrable_domain
+from repro.webgen.banners import regular_banner_html
+from repro.webgen.cookiewalls import (
+    remote_frame_markup,
+    subscription_page_html,
+    wall_markup,
+)
+from repro.webgen.spec import BannerKind, SiteSpec
+
+
+class SiteServer(OriginServer):
+    """Serves every generated website, routed by request host."""
+
+    def __init__(self, sites: Dict[str, SiteSpec], seed: int) -> None:
+        self.sites = sites
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    def handle(self, request: Request, visitor: VisitorContext) -> Response:
+        domain = registrable_domain(request.url.host) or request.url.host
+        spec = self.sites.get(domain)
+        if spec is None:
+            return self.not_found(request)
+        path = request.url.path
+        if path == "/":
+            return self._document(spec, request, visitor)
+        if path == "/subscribe" and spec.wall is not None:
+            return self.html(request, subscription_page_html(spec))
+        if path == "/js/anti-adblock.js":
+            return self._anti_adblock(spec, request)
+        if path == "/js/lock.js":
+            return self.effects(request, encode_effects([{"op": "lock-scroll"}]))
+        return self.not_found(request)
+
+    # ------------------------------------------------------------------
+    # State derivation
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _consent_value(raw: str) -> str:
+        """Interpret a consent cookie: plain marker or TCF-style string."""
+        if raw in ("accept", "reject", ""):
+            return raw
+        from repro.consent.tcf import decode_tc_string
+        from repro.errors import ParseError
+
+        try:
+            record = decode_tc_string(raw)
+        except ParseError:
+            return ""
+        if record.is_reject:
+            return "reject"
+        return "accept" if record.purposes else ""
+
+    @classmethod
+    def _states(cls, spec: SiteSpec, request: Request, visitor: VisitorContext):
+        cookies = parse_cookie_header(request.headers.get("cookie"))
+        consent_raw = cls._consent_value(cookies.get(spec.consent_cookie, ""))
+        consent = consent_raw == "accept"
+        rejected = consent_raw == "reject"
+        subscriber = bool(
+            spec.smp and cookies.get(f"{spec.smp}_subscriber") == "1"
+        )
+        wall_shows = (
+            spec.wall is not None
+            and visitor.vp.code in spec.wall.regions
+            and not consent
+            and not subscriber
+        )
+        banner_shows = (
+            spec.banner in (BannerKind.REGULAR, BannerKind.BAIT)
+            and (spec.banner_audience == "all" or visitor.vp.in_eu)
+            and not consent
+            and not rejected
+        )
+        if spec.wall is not None:
+            in_target_region = visitor.vp.code in spec.wall.regions
+            trackers = (consent and not rejected) or (
+                not in_target_region and not visitor.vp.in_eu and not subscriber
+            )
+        elif spec.banner is BannerKind.NONE:
+            trackers = not rejected
+        else:
+            trackers = consent or (not banner_shows and not rejected and not consent
+                                   and not visitor.vp.in_eu
+                                   and spec.banner_audience == "eu")
+        return consent, rejected, subscriber, wall_shows, banner_shows, trackers
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def _document(
+        self, spec: SiteSpec, request: Request, visitor: VisitorContext
+    ) -> Response:
+        if spec.bot_sensitive and visitor.looks_like_bot:
+            return self.html(
+                request,
+                "<html><head><title>Checking your browser</title></head>"
+                "<body><h1>Access verification</h1>"
+                "<p>Please verify you are human to continue.</p>"
+                "</body></html>",
+                status=403,
+            )
+        (consent, rejected, subscriber,
+         wall_shows, banner_shows, trackers) = self._states(spec, request, visitor)
+        parts: List[str] = [
+            "<html><head>",
+            f"<title>{spec.site_name}</title>",
+            '<meta charset="utf-8">',
+            "</head><body>",
+            f"<header><h1>{spec.site_name}</h1></header>",
+            "<main><article>",
+        ]
+        corpus = CORPORA[spec.language]
+        for index in spec.sentence_indexes:
+            parts.append(f"<p>{corpus[index % len(corpus)]}</p>")
+        parts.append("</article></main>")
+
+        for cdn in spec.cdn_partners:
+            parts.append(f'<script src="https://cdn.{cdn}/lib.js"></script>')
+
+        if wall_shows:
+            parts.append(self._wall_fragment(spec))
+        elif banner_shows:
+            parts.append(self._banner_fragment(spec))
+        elif spec.smp and spec.wall is not None and not consent and not subscriber:
+            # Out-of-region SMP partner: loader still embedded (it just
+            # does nothing visible), matching real partner pages.
+            parts.append(self._smp_loader_tag(spec))
+
+        if trackers:
+            parts.extend(self._tracker_fragments(spec, visitor))
+
+        parts.append('<footer><a href="/impressum">Impressum</a></footer>')
+        parts.append("</body></html>")
+        response = self.html(request, "".join(parts))
+        self._set_first_party_cookies(response, spec, visitor, trackers)
+        return response
+
+    def _wall_fragment(self, spec: SiteSpec) -> str:
+        wall = spec.wall
+        assert wall is not None
+        fragments: List[str] = []
+        if wall.serving == "inline":
+            fragments.append(wall_markup(spec))
+        elif wall.serving == "smp":
+            fragments.append(self._smp_loader_tag(spec))
+        elif wall.placement == "iframe":
+            fragments.append(remote_frame_markup(spec))
+        else:
+            fragments.append(
+                f'<script src="https://cdn.{wall.provider}/loader.js'
+                f'?site={spec.domain}"></script>'
+            )
+        if wall.anti_adblock:
+            fragments.append('<script src="/js/anti-adblock.js"></script>')
+        if wall.fp_scroll_lock:
+            fragments.append('<script src="/js/lock.js"></script>')
+        return "".join(fragments)
+
+    def _smp_loader_tag(self, spec: SiteSpec) -> str:
+        wall = spec.wall
+        assert wall is not None and wall.provider is not None
+        return (
+            f'<script src="https://cdn.{wall.provider}/loader.js'
+            f'?site={spec.domain}"></script>'
+        )
+
+    def _banner_fragment(self, spec: SiteSpec) -> str:
+        if spec.cmp is not None:
+            return (
+                f'<script src="https://cdn.{spec.cmp}/loader.js'
+                f'?site={spec.domain}"></script>'
+            )
+        variant = hash(spec.domain) % 4
+        return regular_banner_html(
+            spec.language,
+            consent_cookie=spec.consent_cookie,
+            reject_button=spec.reject_button,
+            bait=spec.banner is BannerKind.BAIT,
+            variant=variant,
+        )
+
+    def _tracker_fragments(
+        self, spec: SiteSpec, visitor: VisitorContext
+    ) -> List[str]:
+        out: List[str] = []
+        for analytics in spec.analytics_partners:
+            out.append(
+                f'<script src="https://{analytics}/analytics.js"></script>'
+            )
+        sync_percent = int(spec.sync_rate * 100)
+        partners = list(spec.ad_partners)
+        if spec.extra_ads_max > 0 and partners:
+            rng = random.Random(
+                derive_seed(self.seed, "extra-ads", spec.domain, visitor.visit_id)
+            )
+            extra_count = rng.randint(0, spec.extra_ads_max)
+            from repro import thirdparty
+
+            pool = [d for d in thirdparty.ad_domains() if d not in partners]
+            partners.extend(rng.sample(pool, min(extra_count, len(pool))))
+        for ad in partners:
+            out.append(
+                f'<script src="https://{ad}/tag.js'
+                f'?n={spec.cookies_per_ad}&s={sync_percent}"></script>'
+            )
+        return out
+
+    def _set_first_party_cookies(
+        self,
+        response: Response,
+        spec: SiteSpec,
+        visitor: VisitorContext,
+        trackers: bool,
+    ) -> None:
+        count = spec.fp_plain
+        if trackers:
+            rng = random.Random(
+                derive_seed(self.seed, "fp", spec.domain, visitor.visit_id)
+            )
+            count = max(spec.fp_plain, spec.fp_consented + rng.choice((-1, 0, 0, 1)))
+        for i in range(count):
+            response.add_cookie(
+                f"fp{i}=v{visitor.visit_id}; Domain={spec.domain}; Max-Age=31536000"
+            )
+
+    # ------------------------------------------------------------------
+    def _anti_adblock(self, spec: SiteSpec, request: Request) -> Response:
+        wall = spec.wall
+        pattern = f"cdn.{wall.provider}" if wall and wall.provider else "cdn."
+        effects = [
+            {
+                "op": "if-blocked",
+                "pattern": pattern,
+                "then": [
+                    {
+                        "op": "append-html",
+                        "html": (
+                            '<div id="adblock-wall" class="adblock-overlay">'
+                            "<p>Bitte deaktivieren Sie Ihren Adblocker, um "
+                            "diese Seite zu nutzen.</p></div>"
+                        ),
+                    },
+                    {"op": "set-flag", "key": "adblock_wall", "value": True},
+                ],
+            }
+        ]
+        return self.effects(request, encode_effects(effects))

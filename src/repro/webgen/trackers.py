@@ -1,0 +1,160 @@
+"""Third-party origin servers: ad networks, CDNs, analytics, CMPs.
+
+Ad-network responses *set cookies* and *chain-load sync pixels* to
+other networks — the cookie-syncing cascade that makes cookiewall
+sites accumulate dozens of tracking cookies (paper §4.3).  All
+behaviour is deterministic per (server, visit id).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro import thirdparty
+from repro.browser.effects import encode_effects
+from repro.httpkit import Request, Response
+from repro.netsim import OriginServer, VisitorContext
+from repro.rng import derive_seed
+from repro.webgen.banners import regular_banner_html
+from repro.webgen.cookiewalls import wall_body_html, wall_markup
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.webgen.spec import SiteSpec
+
+
+def _query(request: Request) -> Dict[str, str]:
+    return request.url.query_params
+
+
+class TrackerServer(OriginServer):
+    """An advertising network's server (tag scripts + sync pixels)."""
+
+    def __init__(self, domain: str, seed: int) -> None:
+        self.domain = domain
+        self.seed = seed
+        self._peers = [d for d in thirdparty.ad_domains() if d != domain]
+
+    def handle(self, request: Request, visitor: VisitorContext) -> Response:
+        path = request.url.path
+        if path.startswith("/tag.js"):
+            return self._tag(request, visitor)
+        if path.startswith("/p.gif"):
+            response = self.pixel(request)
+            response.add_cookie(
+                f"syncid=s{visitor.visit_id}; Domain={self.domain}; Max-Age=31536000"
+            )
+            return response
+        return self.not_found(request)
+
+    def _tag(self, request: Request, visitor: VisitorContext) -> Response:
+        params = _query(request)
+        n_cookies = max(1, min(int(params.get("n", "1") or 1), 4))
+        sync_percent = max(0, min(int(params.get("s", "0") or 0), 100))
+        rng = random.Random(
+            derive_seed(self.seed, "tag", self.domain, visitor.visit_id)
+        )
+        effects: List[dict] = []
+        if sync_percent and rng.random() * 100 < sync_percent and self._peers:
+            partner = rng.choice(self._peers)
+            effects.append(
+                {"op": "load-resources",
+                 "urls": [f"https://{partner}/p.gif?from={self.domain}"],
+                 "type": "image"}
+            )
+        response = self.effects(request, encode_effects(effects))
+        names = ("uid", "sid", "tid", "cid")
+        for i in range(n_cookies):
+            response.add_cookie(
+                f"{names[i]}=v{visitor.visit_id}; Domain={self.domain}; "
+                f"Max-Age=31536000"
+            )
+        return response
+
+
+class CdnServer(OriginServer):
+    """A benign CDN: serves assets, sets one non-tracking cookie."""
+
+    def __init__(self, domain: str) -> None:
+        self.domain = domain
+
+    def handle(self, request: Request, visitor: VisitorContext) -> Response:
+        response = Response(request=request, body="/*asset*/")
+        response.headers.set("content-type", "application/javascript")
+        response.add_cookie(
+            f"cdn_sess=c{visitor.visit_id}; Domain={self.domain}; Max-Age=86400"
+        )
+        return response
+
+
+class AnalyticsServer(OriginServer):
+    """A measurement script host (1–2 cookies per load)."""
+
+    def __init__(self, domain: str, seed: int) -> None:
+        self.domain = domain
+        self.seed = seed
+
+    def handle(self, request: Request, visitor: VisitorContext) -> Response:
+        response = Response(request=request, body="/*analytics*/")
+        response.headers.set("content-type", "application/javascript")
+        response.add_cookie(
+            f"stats_uid=a{visitor.visit_id}; Domain={self.domain}; Max-Age=31536000"
+        )
+        rng = random.Random(
+            derive_seed(self.seed, "analytics", self.domain, visitor.visit_id)
+        )
+        if rng.random() < 0.5:
+            response.add_cookie(
+                f"stats_sess=s{visitor.visit_id}; Domain={self.domain}; Max-Age=1800"
+            )
+        return response
+
+
+class CMPServer(OriginServer):
+    """A Consent Management Platform: serves banner/wall payloads.
+
+    ``/loader.js?site=X`` returns DOM effects that inject the tenant
+    site's banner or cookiewall; ``/frame?site=X`` returns the wall as
+    a standalone frame document (for remote-iframe delivery).  Blocking
+    this server's host (uBlock Annoyances) suppresses the wall — the
+    §4.5 mechanism.
+    """
+
+    def __init__(self, domain: str, sites: Dict[str, "SiteSpec"]) -> None:
+        self.domain = domain
+        self.sites = sites
+
+    def handle(self, request: Request, visitor: VisitorContext) -> Response:
+        spec = self.sites.get(_query(request).get("site", ""))
+        if spec is None:
+            return self.not_found(request)
+        path = request.url.path
+        if path.startswith("/loader.js"):
+            return self.effects(request, encode_effects(self._effects(spec)))
+        if path.startswith("/frame"):
+            return self.html(
+                request, f"<html><body>{wall_body_html(spec)}</body></html>"
+            )
+        return self.not_found(request)
+
+    def _effects(self, spec: "SiteSpec") -> List[dict]:
+        if spec.wall is not None:
+            return [
+                {"op": "append-html", "html": wall_markup(spec)},
+                {"op": "lock-scroll"},
+            ]
+        if spec.has_banner:
+            variant = hash(spec.domain) % 4
+            return [
+                {
+                    "op": "append-html",
+                    "html": regular_banner_html(
+                        spec.language,
+                        consent_cookie=spec.consent_cookie,
+                        reject_button=spec.reject_button,
+                        variant=variant,
+                        cmp_id=(hash(self.domain) % 90) + 10,
+                    ),
+                }
+            ]
+        return []

@@ -1,0 +1,181 @@
+"""World self-validation: structural checks with a readable report.
+
+``build_world`` is deterministic but heavily configurable; this module
+verifies that a built world satisfies every structural invariant the
+experiments rely on, and reports violations instead of failing deep
+inside an experiment.  Exposed via ``repro-cookiewalls validate``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List
+
+from repro.urlkit import public_suffix
+from repro.webgen.spec import BannerKind
+from repro.webgen.toplist import union_of
+from repro.webgen.world import World
+
+
+@dataclass
+class Violation:
+    check: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.check}: {self.message}"
+
+
+@dataclass
+class ValidationReport:
+    checks_run: int = 0
+    violations: List[Violation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def render(self) -> str:
+        lines = [
+            f"World validation: {self.checks_run} checks, "
+            f"{len(self.violations)} violations",
+        ]
+        for violation in self.violations:
+            lines.append(f"  FAIL {violation}")
+        if self.ok:
+            lines.append("  all invariants hold")
+        return "\n".join(lines)
+
+
+def validate_world(world: World) -> ValidationReport:
+    """Run every invariant check against *world*."""
+    report = ValidationReport()
+
+    def check(name: str, fn: Callable[[], List[str]]) -> None:
+        report.checks_run += 1
+        for message in fn():
+            report.violations.append(Violation(name, message))
+
+    check("toplist-sizes", lambda: _toplist_sizes(world))
+    check("crawl-targets-reachable", lambda: _targets_reachable(world))
+    check("crawl-targets-unique", lambda: _targets_unique(world))
+    check("walls-listed", lambda: _walls_listed(world))
+    check("walls-visible-from-de", lambda: _walls_de_visible(world))
+    check("wall-tld-consistency", lambda: _wall_tlds(world))
+    check("wall-prices-positive", lambda: _wall_prices(world))
+    check("smp-partner-wiring", lambda: _smp_wiring(world))
+    check("bait-sites-regular", lambda: _bait_regular(world))
+    check("network-knows-targets", lambda: _network_routes(world))
+    check("category-db-covers-walls", lambda: _categories(world))
+    check("languages-have-corpora", lambda: _languages(world))
+    return report
+
+
+def _toplist_sizes(world: World) -> List[str]:
+    expected = world.config.n_list_size
+    return [
+        f"{country} list has {len(toplist)} entries, expected {expected}"
+        for country, toplist in world.toplists.items()
+        if len(toplist) != expected
+    ]
+
+
+def _targets_reachable(world: World) -> List[str]:
+    return [
+        f"{domain} is a crawl target but unreachable"
+        for domain in world.crawl_targets
+        if not world.sites[domain].reachable
+    ][:5]
+
+
+def _targets_unique(world: World) -> List[str]:
+    if len(set(world.crawl_targets)) != len(world.crawl_targets):
+        return ["crawl target union contains duplicates"]
+    union = set(union_of(world.toplists.values()))
+    stray = [d for d in world.crawl_targets if d not in union]
+    return [f"{d} is a target but on no toplist" for d in stray[:5]]
+
+
+def _walls_listed(world: World) -> List[str]:
+    return [
+        f"wall {domain} is on no toplist"
+        for domain in world.wall_domains
+        if not world.sites[domain].listings
+    ]
+
+
+def _walls_de_visible(world: World) -> List[str]:
+    return [
+        f"wall {domain} invisible from the German VP"
+        for domain in world.wall_domains
+        if "DE" not in world.sites[domain].wall.regions
+    ]
+
+
+def _wall_tlds(world: World) -> List[str]:
+    out = []
+    for domain in world.wall_domains:
+        spec = world.sites[domain]
+        if public_suffix(domain) != spec.tld:
+            out.append(f"{domain}: spec tld {spec.tld!r} mismatches domain")
+    return out
+
+
+def _wall_prices(world: World) -> List[str]:
+    out = []
+    for domain in world.wall_domains:
+        cents = world.sites[domain].wall.monthly_price_cents
+        if not 1 <= cents <= 2000:
+            out.append(f"{domain}: implausible price {cents} cents")
+    return out
+
+
+def _smp_wiring(world: World) -> List[str]:
+    out = []
+    for name, platform in world.platforms.items():
+        for domain in platform.partner_domains:
+            spec = world.sites.get(domain)
+            if spec is None:
+                out.append(f"{name} partner {domain} has no site spec")
+                continue
+            if spec.smp != name:
+                out.append(f"{name} partner {domain} has smp={spec.smp!r}")
+            if spec.wall is None or spec.wall.serving != "smp":
+                out.append(f"{name} partner {domain} is not SMP-served")
+    return out
+
+
+def _bait_regular(world: World) -> List[str]:
+    return [
+        f"bait site {domain} is not a regular-banner site"
+        for domain in world.bait_domains
+        if world.sites[domain].banner is not BannerKind.BAIT
+        or world.sites[domain].wall is not None
+    ]
+
+
+def _network_routes(world: World) -> List[str]:
+    out = []
+    for domain in list(world.crawl_targets)[:200]:
+        if not world.network.knows(domain):
+            out.append(f"no route for target {domain}")
+    return out
+
+
+def _categories(world: World) -> List[str]:
+    return [
+        f"wall {domain} missing from the category DB"
+        for domain in world.wall_domains
+        if domain not in world.category_db
+    ]
+
+
+def _languages(world: World) -> List[str]:
+    from repro.lang.corpus import CORPORA
+
+    bad = {
+        spec.language
+        for spec in world.sites.values()
+        if spec.language not in CORPORA
+    }
+    return [f"no corpus for language {lang!r}" for lang in sorted(bad)]

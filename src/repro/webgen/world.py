@@ -1,0 +1,741 @@
+"""World assembly: build the complete synthetic web.
+
+:func:`build_world` deterministically creates the site population, the
+toplists, the third-party/CMP/SMP servers, the category database and
+the tracking blocklist, and wires everything into one
+:class:`~repro.netsim.Network`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro import thirdparty
+from repro.blocklists import JustDomainsList, builtin_list
+from repro.browser import Browser
+from repro.categorize import WebFilterDB
+from repro.errors import WorldGenerationError
+from repro.httpkit import CookieJar
+from repro.netsim import Network
+from repro.rng import SeedSequence
+from repro.smp import SMPPlatform, SMPServer
+from repro.vantage import VANTAGE_POINTS, VantagePoint
+from repro.webgen.config import (
+    COUNTRIES,
+    COUNTRY_LANGUAGES,
+    COUNTRY_TLDS,
+    GENERIC_CATEGORY_SHARES,
+    PLACEMENT_MIX,
+    PRICE_MATRIX,
+    SERVING_MIX,
+    VIS_DE_ONLY,
+    VIS_EU_ONLY,
+    VP_EXCLUSIONS,
+    WALL_CATEGORY_SHARES,
+    WALL_COHORTS,
+    WorldConfig,
+    apportion,
+)
+from repro.webgen.names import make_domain, site_title
+from repro.webgen.sites import SiteServer
+from repro.webgen.spec import BannerKind, SiteSpec, WallSpec
+from repro.webgen.toplist import BUCKET_TOP1K, BUCKET_TOP10K, Toplist, union_of
+from repro.webgen.trackers import AnalyticsServer, CdnServer, CMPServer, TrackerServer
+from repro.lang.corpus import CORPORA
+
+_ALL_VPS = frozenset(VANTAGE_POINTS)
+_EU_VPS = frozenset({"DE", "SE"})
+
+#: Top-1k wall membership per toplist country (full scale: §4.1 — 8.5%
+#: of the German top 1k show walls).
+_WALL_TOP1K = {"DE": 85, "SE": 2, "AU": 1, "BR": 0}
+
+
+@dataclass
+class World:
+    """The assembled synthetic web plus its ground truth."""
+
+    config: WorldConfig
+    network: Network
+    sites: Dict[str, SiteSpec]
+    toplists: Dict[str, Toplist]
+    crawl_targets: List[str]           # reachable union (paper: 45,222)
+    category_db: WebFilterDB
+    tracking_list: JustDomainsList
+    platforms: Dict[str, SMPPlatform]
+    wall_domains: Set[str]             # true walls on the toplists (280)
+    bait_domains: Set[str]             # false-positive bait sites
+    offlist_partner_domains: Dict[str, List[str]]
+
+    def browser(
+        self,
+        vp_code: str,
+        *,
+        extensions: Sequence = (),
+        instruments: Sequence = (),
+        jar: Optional[CookieJar] = None,
+        stealth: bool = True,
+    ) -> Browser:
+        """A fresh measurement browser located at a vantage point."""
+        vp = VANTAGE_POINTS[vp_code]
+        return Browser(
+            self.network, vp, jar=jar, extensions=extensions,
+            instruments=instruments, stealth=stealth,
+        )
+
+    def spec(self, domain: str) -> SiteSpec:
+        return self.sites[domain]
+
+    def partner_domains(self, platform: str) -> List[str]:
+        """All partner domains of an SMP (on- and off-toplist)."""
+        return list(self.platforms[platform].partner_domains)
+
+    def stats(self) -> Dict[str, object]:
+        """Headline ground-truth statistics (for docs and sanity tests)."""
+        return {
+            "sites": len(self.sites),
+            "crawl_targets": len(self.crawl_targets),
+            "toplists": {c: len(t) for c, t in self.toplists.items()},
+            "walls": len(self.wall_domains),
+            "bait": len(self.bait_domains),
+            "contentpass_partners": len(self.platforms["contentpass"].partner_domains),
+            "freechoice_partners": len(self.platforms["freechoice"].partner_domains),
+        }
+
+
+# ---------------------------------------------------------------------------
+# Build steps
+# ---------------------------------------------------------------------------
+
+def build_world(
+    config: Optional[WorldConfig] = None,
+    *,
+    seed: Optional[int] = None,
+    scale: Optional[float] = None,
+) -> World:
+    """Build the synthetic web.
+
+    Either pass a full :class:`WorldConfig` or override ``seed`` /
+    ``scale`` of the defaults.  ``scale=1.0`` is the paper-scale world
+    (~45k reachable sites); tests typically use ``scale=0.02``.
+    """
+    if config is None:
+        config = WorldConfig(
+            seed=seed if seed is not None else 2023,
+            scale=scale if scale is not None else 1.0,
+        )
+    builder = _WorldBuilder(config)
+    return builder.build()
+
+
+class _WorldBuilder:
+    def __init__(self, config: WorldConfig) -> None:
+        self.cfg = config
+        self.root = SeedSequence(config.seed)
+        self.used_domains: Set[str] = {
+            p.domain for p in thirdparty.all_parties()
+        }
+        self.sites: Dict[str, SiteSpec] = {}
+        self.listed: Dict[str, List[str]] = {c: [] for c in COUNTRIES}
+
+    # ------------------------------------------------------------------
+    def build(self) -> World:
+        walls = self._build_walls()
+        bait = self._build_bait()
+        platforms = self._build_platforms(walls)
+        self._build_ordinary_sites()
+        toplists = self._build_toplists(walls, bait)
+        self._mark_unreachable()
+        network = self._build_network(platforms)
+        category_db = self._build_category_db()
+        reachable_union = [
+            d for d in union_of(toplists.values()) if self.sites[d].reachable
+        ]
+        return World(
+            config=self.cfg,
+            network=network,
+            sites=self.sites,
+            toplists=toplists,
+            crawl_targets=reachable_union,
+            category_db=category_db,
+            tracking_list=builtin_list(),
+            platforms=platforms,
+            wall_domains={s.domain for s in walls},
+            bait_domains={s.domain for s in bait},
+            offlist_partner_domains={
+                name: [
+                    d for d in platform.partner_domains
+                    if not self.sites[d].listings
+                ]
+                for name, platform in platforms.items()
+            },
+        )
+
+    # ------------------------------------------------------------------
+    # Cookiewall population
+    # ------------------------------------------------------------------
+    def _build_walls(self) -> List[SiteSpec]:
+        cfg = self.cfg
+        n_walls = cfg.n_walls
+        rng = self.root.stream("walls")
+
+        cohort_counts = apportion([c[0] for c in WALL_COHORTS], n_walls)
+        slots: List[Tuple[str, str, str, str]] = []
+        for (count, (_, country, tld, lang, vis)) in zip(cohort_counts, WALL_COHORTS):
+            slots.extend([(country, tld, lang, vis)] * count)
+
+        serving = self._assign_serving(slots, rng)
+        placement = self._assign_placement(n_walls, rng)
+        prices = self._assign_prices(slots, serving, rng)
+        regions = self._assign_regions(slots, rng)
+        categories = self._expand_shares(WALL_CATEGORY_SHARES, n_walls, rng)
+        quirks = self._assign_quirks(serving, n_walls)
+
+        specs: List[SiteSpec] = []
+        for index, (country, tld, lang, _vis) in enumerate(slots):
+            domain = make_domain(rng, lang, tld, self.used_domains)
+            serve_kind, provider = serving[index]
+            wall = WallSpec(
+                placement=placement[index],
+                serving=serve_kind,
+                provider=provider,
+                monthly_price_cents=prices[index],
+                display_currency=self._currency_for(tld, country, rng),
+                billing_period=self._period_for(serve_kind, rng),
+                regions=regions[index],
+                anti_adblock=(index == quirks[0]),
+                fp_scroll_lock=(index == quirks[1]),
+            )
+            spec = SiteSpec(
+                domain=domain,
+                tld=tld,
+                language=lang,
+                category=categories[index],
+                banner=BannerKind.COOKIEWALL,
+                reject_button=False,
+                wall=wall,
+                smp=(provider.split(".")[0] if serve_kind == "smp" else None),
+                site_name=site_title(domain),
+                bot_sensitive=rng.random() < self.cfg.bot_sensitive_rate,
+            )
+            self._wire_wall_cookies(spec, rng)
+            self._set_sentences(spec, rng)
+            self.sites[domain] = spec
+            self.listed[country].append(domain)
+            specs.append(spec)
+        return specs
+
+    def _assign_serving(
+        self, slots: List[Tuple[str, str, str, str]], rng: random.Random
+    ) -> List[Tuple[str, Optional[str]]]:
+        n = len(slots)
+        counts = apportion(dict(SERVING_MIX), n)
+        de_indices = [i for i, s in enumerate(slots) if s[1] == "de"]
+        other_indices = [i for i, s in enumerate(slots) if s[1] != "de"]
+        rng.shuffle(de_indices)
+        rng.shuffle(other_indices)
+        ordered = de_indices + other_indices
+
+        result: List[Optional[Tuple[str, Optional[str]]]] = [None] * n
+        cursor = 0
+        listed_cmps = thirdparty.cmp_domains(listed=True)
+        unlisted_cmps = thirdparty.cmp_domains(listed=False)
+        plan: List[Tuple[str, Optional[str], int]] = [
+            ("smp", thirdparty.SMP_CONTENTPASS, counts["smp:contentpass"]),
+            ("smp", thirdparty.SMP_FREECHOICE, counts["smp:freechoice"]),
+            ("cmp", None, counts["cmp-listed"]),
+            ("cmp", "unlisted", counts["cmp-unlisted"]),
+            ("inline", None, counts["inline"]),
+        ]
+        for kind, provider, count in plan:
+            for k in range(count):
+                index = ordered[cursor]
+                cursor += 1
+                if kind == "cmp":
+                    pool = unlisted_cmps if provider == "unlisted" else listed_cmps
+                    result[index] = ("cmp", pool[k % len(pool)])
+                elif kind == "smp":
+                    result[index] = ("smp", provider)
+                else:
+                    result[index] = ("inline", None)
+        assert all(r is not None for r in result)
+        return result  # type: ignore[return-value]
+
+    def _assign_placement(self, n: int, rng: random.Random) -> List[str]:
+        counts = apportion(dict(PLACEMENT_MIX), n)
+        out: List[str] = []
+        for placement, count in counts.items():
+            out.extend([placement] * count)
+        rng.shuffle(out)
+        return out
+
+    def _assign_prices(
+        self,
+        slots: List[Tuple[str, str, str, str]],
+        serving: List[Tuple[str, Optional[str]]],
+        rng: random.Random,
+    ) -> List[int]:
+        prices: List[Optional[int]] = [None] * len(slots)
+        by_tld: Dict[str, List[int]] = {}
+        smp_de = 0
+        for index, (_, tld, _, _) in enumerate(slots):
+            if serving[index][0] == "smp":
+                prices[index] = self.cfg.smp_price_cents
+                if tld == "de":
+                    smp_de += 1
+            else:
+                by_tld.setdefault(tld, []).append(index)
+        for tld, indices in by_tld.items():
+            weights = dict(PRICE_MATRIX.get(tld, {3: 1}))
+            if tld == "de":
+                weights[3] = max(weights.get(3, 0) - self.cfg.scaled(138), 1)
+            buckets = apportion(weights, len(indices))
+            bucket_list: List[int] = []
+            for bucket, count in buckets.items():
+                bucket_list.extend([bucket] * count)
+            rng.shuffle(bucket_list)
+            for index, bucket in zip(indices, bucket_list):
+                offset = rng.choice((1, 1, 1, 5, 10, 50))
+                prices[index] = max(bucket * 100 - offset, (bucket - 1) * 100 + 1)
+        assert all(p is not None for p in prices)
+        return prices  # type: ignore[return-value]
+
+    def _assign_regions(
+        self, slots: List[Tuple[str, str, str, str]], rng: random.Random
+    ) -> List[FrozenSet[str]]:
+        regions: List[FrozenSet[str]] = []
+        global_indices: List[int] = []
+        for index, (_, _, _, vis) in enumerate(slots):
+            if vis == VIS_EU_ONLY:
+                regions.append(_EU_VPS)
+            elif vis == VIS_DE_ONLY:
+                regions.append(frozenset({"DE"}))
+            else:
+                regions.append(_ALL_VPS)
+                global_indices.append(index)
+        # Carve out per-VP exclusions from the globally visible walls.
+        total_exclusions = self.cfg.scaled(sum(VP_EXCLUSIONS.values()))
+        counts = apportion(dict(VP_EXCLUSIONS), total_exclusions)
+        news_index = next(
+            (i for i in global_indices if slots[i][1] == "news"), None
+        )
+        # German-language global walls are the exclusion pool.
+        pool = [
+            i for i in global_indices
+            if slots[i][2] == "de" and slots[i][0] == "DE" and i != news_index
+        ]
+        rng.shuffle(pool)
+        cursor = 0
+        exclusion_map: Dict[int, Set[str]] = {}
+        for vp_code, count in counts.items():
+            picks: List[int] = []
+            if vp_code in ("USE", "USW") and news_index is not None and count > 0:
+                picks.append(news_index)
+                count -= 1
+            take = pool[cursor:cursor + count]
+            cursor += count
+            picks.extend(take)
+            for index in picks:
+                exclusion_map.setdefault(index, set()).add(vp_code)
+        for index, excluded in exclusion_map.items():
+            regions[index] = frozenset(_ALL_VPS - excluded)
+        return regions
+
+    def _assign_quirks(
+        self, serving: List[Tuple[str, Optional[str]]], n: int
+    ) -> Tuple[int, int]:
+        """Indices of the anti-adblock and scroll-lock sites (§4.5)."""
+        if n < 50:
+            return (-1, -1)
+        blocked = [
+            i for i, (kind, provider) in enumerate(serving)
+            if kind == "cmp" and provider in thirdparty.cmp_domains(listed=True)
+        ]
+        if len(blocked) < 2:
+            return (-1, -1)
+        return (blocked[0], blocked[1])
+
+    def _currency_for(self, tld: str, country: str, rng: random.Random) -> str:
+        if tld in ("de", "at", "it", "fr", "es"):
+            return "EUR"
+        if country == "AU":
+            return "AUD"
+        return rng.choices(
+            ["EUR", "USD", "GBP", "CHF"], weights=[0.70, 0.12, 0.09, 0.09]
+        )[0]
+
+    def _period_for(self, serving_kind: str, rng: random.Random) -> str:
+        if serving_kind == "smp":
+            return "month"
+        return "year" if rng.random() < 0.15 else "month"
+
+    def _wire_wall_cookies(self, spec: SiteSpec, rng: random.Random) -> None:
+        cfg = self.cfg
+        # Only contentpass partners are measurably "light" trackers on
+        # accept (Figure 5); freechoice partners and independent walls
+        # run the heavy ad stacks that dominate Figure 4's medians.
+        # A small share of contentpass partners nevertheless runs an
+        # extreme stack — the paper's ">100 tracking cookies" outliers.
+        light = spec.smp == "contentpass"
+        heavy_outlier = light and rng.random() < 0.04
+        profile = cfg.profile_smp_partner if light else cfg.profile_wall
+        sigma = 0.30 if light else 0.42
+        spec.fp_plain = max(profile.fp_plain + rng.choice((-1, 0, 0, 1)), 2)
+        fp_low = 6 if light else 14
+        spec.fp_consented = _lognorm_int(
+            rng, profile.fp_consented, 0.26,
+            low=max(spec.fp_plain, fp_low), high=45,
+        )
+        ads_low, ads_high = (2, 15) if light else (9, 40)
+        if heavy_outlier:
+            ads_low, ads_high, sigma = (36, 45, 0.1)
+        n_ads = _lognorm_int(rng, profile.ad_partners, sigma, low=ads_low, high=ads_high)
+        pool = thirdparty.ad_domains()
+        spec.ad_partners = tuple(rng.sample(pool, min(n_ads, len(pool))))
+        spec.cookies_per_ad = 2
+        spec.sync_rate = profile.sync_rate
+        spec.extra_ads_max = profile.extra_ads_max
+        spec.cdn_partners = tuple(
+            rng.sample(thirdparty.cdn_domains(), profile.cdn_partners)
+        )
+        analytics_pool = [p.domain for p in thirdparty.by_kind("analytics")]
+        spec.analytics_partners = tuple(rng.sample(analytics_pool, 2))
+
+    # ------------------------------------------------------------------
+    # Bait sites (§3: the 5 false positives, precision 98.2%)
+    # ------------------------------------------------------------------
+    def _build_bait(self) -> List[SiteSpec]:
+        rng = self.root.stream("bait")
+        specs = []
+        for _ in range(self.cfg.n_bait):
+            domain = make_domain(rng, "de", "de", self.used_domains)
+            spec = SiteSpec(
+                domain=domain,
+                tld="de",
+                language="de",
+                category="News and Media",
+                banner=BannerKind.BAIT,
+                banner_audience="eu",
+                reject_button=True,
+                site_name=site_title(domain),
+            )
+            self._wire_regular_cookies(spec, rng)
+            self._set_sentences(spec, rng)
+            self.sites[domain] = spec
+            self.listed["DE"].append(domain)
+            specs.append(spec)
+        return specs
+
+    # ------------------------------------------------------------------
+    # SMP platforms and their off-toplist partners
+    # ------------------------------------------------------------------
+    def _build_platforms(self, walls: List[SiteSpec]) -> Dict[str, SMPPlatform]:
+        platforms = {
+            "contentpass": SMPPlatform(
+                "contentpass", thirdparty.SMP_CONTENTPASS,
+                self.cfg.smp_price_cents,
+            ),
+            "freechoice": SMPPlatform(
+                "freechoice", thirdparty.SMP_FREECHOICE,
+                self.cfg.smp_price_cents,
+            ),
+        }
+        for spec in walls:
+            if spec.smp:
+                platforms[spec.smp].partner_domains.append(spec.domain)
+        rng = self.root.stream("offlist-partners")
+        targets = {
+            "contentpass": self.cfg.n_contentpass,
+            "freechoice": self.cfg.n_freechoice,
+        }
+        placements = list(PLACEMENT_MIX)
+        for name, platform in platforms.items():
+            missing = max(targets[name] - len(platform.partner_domains), 0)
+            for k in range(missing):
+                domain = make_domain(rng, "de", "de", self.used_domains)
+                wall = WallSpec(
+                    placement=placements[k % len(placements)],
+                    serving="smp",
+                    provider=platform.domain,
+                    monthly_price_cents=self.cfg.smp_price_cents,
+                    display_currency="EUR",
+                    billing_period="month",
+                    regions=_ALL_VPS,
+                )
+                spec = SiteSpec(
+                    domain=domain,
+                    tld="de",
+                    language="de",
+                    category="News and Media",
+                    banner=BannerKind.COOKIEWALL,
+                    reject_button=False,
+                    wall=wall,
+                    smp=name,
+                    site_name=site_title(domain),
+                )
+                self._wire_wall_cookies(spec, rng)
+                self._set_sentences(spec, rng)
+                self.sites[domain] = spec
+                platform.partner_domains.append(domain)
+        return platforms
+
+    # ------------------------------------------------------------------
+    # Ordinary site population
+    # ------------------------------------------------------------------
+    def _build_ordinary_sites(self) -> None:
+        cfg = self.cfg
+        rng = self.root.stream("ordinary")
+        categories = itertools.cycle(
+            self._expand_shares(GENERIC_CATEGORY_SHARES, 500, rng)
+        )
+
+        # Global sites: on every toplist.
+        for _ in range(cfg.n_global):
+            tld = rng.choices(
+                ["com", "net", "org", "io"], weights=[0.6, 0.15, 0.15, 0.1]
+            )[0]
+            spec = self._ordinary_site(rng, "en", tld, next(categories))
+            for country in COUNTRIES:
+                self.listed[country].append(spec.domain)
+
+        # Bi-regional sites: on exactly two toplists.
+        pairs = list(itertools.combinations(COUNTRIES, 2))
+        pair_counts = apportion([1.0] * len(pairs), cfg.n_biregional)
+        for pair, count in zip(pairs, pair_counts):
+            for _ in range(count):
+                primary = pair[0]
+                language = self._pick(COUNTRY_LANGUAGES[primary], rng)
+                tld = self._pick(COUNTRY_TLDS[primary], rng)
+                spec = self._ordinary_site(rng, language, tld, next(categories))
+                self.listed[pair[0]].append(spec.domain)
+                self.listed[pair[1]].append(spec.domain)
+
+        # Local sites: fill each country list up to the exact size.
+        for country in COUNTRIES:
+            missing = cfg.n_list_size - len(self.listed[country])
+            if missing < 0:
+                raise WorldGenerationError(
+                    f"toplist {country} overfull ({-missing} extra entries); "
+                    "increase list_size or scale"
+                )
+            for _ in range(missing):
+                language = self._pick(COUNTRY_LANGUAGES[country], rng)
+                tld = self._pick(COUNTRY_TLDS[country], rng)
+                spec = self._ordinary_site(rng, language, tld, next(categories))
+                self.listed[country].append(spec.domain)
+
+    def _ordinary_site(
+        self, rng: random.Random, language: str, tld: str, category: str
+    ) -> SiteSpec:
+        cfg = self.cfg
+        domain = make_domain(rng, language, tld, self.used_domains)
+        spec = SiteSpec(
+            domain=domain,
+            tld=tld,
+            language=language,
+            category=category,
+            site_name=site_title(domain),
+            bot_sensitive=rng.random() < self.cfg.bot_sensitive_rate,
+        )
+        self._set_sentences(spec, rng)
+        self._wire_regular_cookies(spec, rng)
+        self.sites[domain] = spec
+        return spec
+
+    def _wire_regular_cookies(self, spec: SiteSpec, rng: random.Random) -> None:
+        cfg = self.cfg
+        profile = cfg.profile_regular
+        spec.fp_plain = max(profile.fp_plain + rng.choice((-1, 0, 1)), 1)
+        spec.fp_consented = _lognorm_int(
+            rng, profile.fp_consented, 0.30, low=max(spec.fp_plain, 4), high=40
+        )
+        n_ads = rng.choices([0, 1, 2, 3], weights=[0.35, 0.40, 0.17, 0.08])[0]
+        pool = thirdparty.ad_domains()
+        spec.ad_partners = tuple(rng.sample(pool, n_ads))
+        spec.cookies_per_ad = 1
+        spec.sync_rate = profile.sync_rate
+        spec.extra_ads_max = profile.extra_ads_max
+        spec.cdn_partners = tuple(
+            rng.sample(thirdparty.cdn_domains(), rng.randint(3, 4))
+        )
+        # Ordinary sites lean on privacy-friendlier analytics vendors.
+        tracked_pool = [
+            p.domain for p in thirdparty.by_kind("analytics") if p.in_justdomains
+        ]
+        untracked_pool = [
+            p.domain for p in thirdparty.by_kind("analytics") if not p.in_justdomains
+        ]
+        analytics = [rng.choice(untracked_pool)]
+        if rng.random() < 0.25:
+            analytics.append(rng.choice(tracked_pool))
+        spec.analytics_partners = tuple(analytics)
+        # Banner behaviour (only for non-wall, non-bait sites).
+        if spec.banner is BannerKind.NONE:
+            self._assign_banner(spec, rng)
+
+    def _assign_banner(self, spec: SiteSpec, rng: random.Random) -> None:
+        cfg = self.cfg
+        # EU-list membership is not yet known here; approximate with TLD.
+        eu_flavoured = spec.tld in ("de", "at", "se") or spec.language in ("de", "sv")
+        rate = cfg.banner_rate_eu_list if eu_flavoured else cfg.banner_rate_other
+        if rng.random() >= rate:
+            return
+        spec.banner = BannerKind.REGULAR
+        spec.banner_audience = (
+            "all" if rng.random() < cfg.banner_everywhere_rate else "eu"
+        )
+        spec.reject_button = rng.random() < cfg.reject_button_rate
+        if rng.random() < 0.25:
+            listed = rng.random() < 0.8
+            pool = thirdparty.cmp_domains(listed=listed)
+            spec.cmp = rng.choice(pool)
+
+    def _set_sentences(self, spec: SiteSpec, rng: random.Random) -> None:
+        corpus_size = len(CORPORA[spec.language])
+        count = rng.randint(3, 4)
+        spec.sentence_indexes = tuple(
+            rng.randrange(corpus_size) for _ in range(count)
+        )
+
+    @staticmethod
+    def _pick(weighted: Tuple[Tuple[str, float], ...], rng: random.Random) -> str:
+        values = [v for v, _ in weighted]
+        weights = [w for _, w in weighted]
+        return rng.choices(values, weights=weights)[0]
+
+    def _expand_shares(
+        self,
+        shares: Tuple[Tuple[str, float], ...],
+        total: int,
+        rng: random.Random,
+    ) -> List[str]:
+        counts = apportion([w for _, w in shares], total)
+        out: List[str] = []
+        for (value, _), count in zip(shares, counts):
+            out.extend([value] * count)
+        rng.shuffle(out)
+        return out
+
+    # ------------------------------------------------------------------
+    # Toplists (ordering, rank buckets)
+    # ------------------------------------------------------------------
+    def _build_toplists(
+        self, walls: List[SiteSpec], bait: List[SiteSpec]
+    ) -> Dict[str, Toplist]:
+        cfg = self.cfg
+        rng = self.root.stream("toplists")
+        top1k_counts = apportion(
+            dict(_WALL_TOP1K), self.cfg.scaled(sum(_WALL_TOP1K.values()), minimum=1)
+        )
+        toplists: Dict[str, Toplist] = {}
+        for country in COUNTRIES:
+            entries = list(self.listed[country])
+            rng.shuffle(entries)
+            wall_domains = [
+                d for d in entries if self.sites[d].banner is BannerKind.COOKIEWALL
+            ]
+            want_top = min(top1k_counts.get(country, 0), len(wall_domains))
+            entries = self._force_bucket_membership(
+                entries, wall_domains, want_top, cfg.n_top_bucket, rng
+            )
+            toplist = Toplist(country, entries, cfg.n_top_bucket)
+            toplists[country] = toplist
+            for domain in entries:
+                bucket = toplist.bucket_of(domain)
+                self.sites[domain].listings[country] = bucket or BUCKET_TOP10K
+        return toplists
+
+    @staticmethod
+    def _force_bucket_membership(
+        entries: List[str],
+        wall_domains: List[str],
+        want_top: int,
+        top_bucket: int,
+        rng: random.Random,
+    ) -> List[str]:
+        """Rearrange so exactly *want_top* walls land in the top bucket."""
+        entries = list(entries)
+        position = {d: i for i, d in enumerate(entries)}
+        in_top = [d for d in wall_domains if position[d] < top_bucket]
+        out_top = [d for d in wall_domains if position[d] >= top_bucket]
+        wall_set = set(wall_domains)
+
+        def swap(a: str, b: str) -> None:
+            ia, ib = position[a], position[b]
+            entries[ia], entries[ib] = b, a
+            position[a], position[b] = ib, ia
+
+        while len(in_top) > want_top:
+            mover = in_top.pop()
+            candidates = [
+                d for d in entries[top_bucket:] if d not in wall_set
+            ]
+            swap(mover, candidates[rng.randrange(len(candidates))])
+            out_top.append(mover)
+        while len(in_top) < want_top and out_top:
+            mover = out_top.pop()
+            candidates = [
+                d for d in entries[:top_bucket] if d not in wall_set
+            ]
+            swap(mover, candidates[rng.randrange(len(candidates))])
+            in_top.append(mover)
+        return entries
+
+    # ------------------------------------------------------------------
+    # Unreachable sites
+    # ------------------------------------------------------------------
+    def _mark_unreachable(self) -> None:
+        rng = self.root.stream("unreachable")
+        protected = {
+            d for d, s in self.sites.items()
+            if s.banner in (BannerKind.COOKIEWALL, BannerKind.BAIT) or s.smp
+        }
+        candidates = sorted(set(self.sites) - protected)
+        count = min(self.cfg.n_unreachable, len(candidates))
+        for domain in rng.sample(candidates, count):
+            self.sites[domain].reachable = False
+
+    # ------------------------------------------------------------------
+    # Servers / network
+    # ------------------------------------------------------------------
+    def _build_network(self, platforms: Dict[str, SMPPlatform]) -> Network:
+        network = Network()
+        seed = self.cfg.seed
+        site_server = SiteServer(self.sites, seed)
+        for domain, spec in self.sites.items():
+            if spec.reachable:
+                network.register(domain, site_server)
+            else:
+                network.mark_unreachable(domain)
+        for party in thirdparty.all_parties():
+            if party.kind in ("ad", "social"):
+                network.register(party.domain, TrackerServer(party.domain, seed))
+            elif party.kind == "cdn":
+                network.register(party.domain, CdnServer(party.domain))
+            elif party.kind == "analytics":
+                network.register(party.domain, AnalyticsServer(party.domain, seed))
+            elif party.kind == "cmp":
+                network.register(party.domain, CMPServer(party.domain, self.sites))
+        for platform in platforms.values():
+            network.register(platform.domain, SMPServer(platform, self.sites))
+        return network
+
+    def _build_category_db(self) -> WebFilterDB:
+        db = WebFilterDB()
+        rng = self.root.stream("categorydb")
+        for domain, spec in self.sites.items():
+            # FortiGuard has near-complete coverage; keep a small gap.
+            if spec.banner is BannerKind.COOKIEWALL or rng.random() < 0.97:
+                db.add(domain, spec.category)
+        return db
+
+
+def _lognorm_int(
+    rng: random.Random, median: float, sigma: float, *, low: int, high: int
+) -> int:
+    """A log-normal integer draw with the given median, clamped."""
+    value = median * 2.718281828 ** rng.gauss(0.0, sigma)
+    return max(low, min(int(round(value)), high))

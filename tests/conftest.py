@@ -1,0 +1,29 @@
+"""Shared fixtures: small worlds reused across the test suite."""
+
+import pytest
+
+from repro.experiments import ExperimentContext
+from repro.measure.crawl import Crawler
+from repro.webgen import build_world
+
+
+@pytest.fixture(scope="session")
+def small_world():
+    """A ~1k-site world (2% scale) for fast integration tests."""
+    return build_world(scale=0.02, seed=7)
+
+
+@pytest.fixture(scope="session")
+def medium_world():
+    """A ~2.5k-site world (5% scale) with a richer wall population."""
+    return build_world(scale=0.05, seed=7)
+
+
+@pytest.fixture(scope="session")
+def medium_crawler(medium_world):
+    return Crawler(medium_world)
+
+
+@pytest.fixture(scope="session")
+def medium_context(medium_world, medium_crawler):
+    return ExperimentContext(medium_world, crawler=medium_crawler)

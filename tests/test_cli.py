@@ -1,0 +1,70 @@
+"""Tests for the repro-cookiewalls command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for experiment in ("table1", "fig4", "ublock", "accuracy"):
+            assert experiment in out
+
+
+class TestStats:
+    def test_stats_output(self, capsys):
+        assert main(["stats", "--scale", "0.01", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "crawl_targets:" in out
+        assert "walls:" in out
+
+
+class TestRun:
+    def test_run_unknown_experiment(self, capsys):
+        assert main(["run", "fig99", "--scale", "0.01"]) == 2
+        assert "unknown experiments" in capsys.readouterr().err
+
+    def test_run_single(self, capsys):
+        assert main(["run", "landscape", "--scale", "0.02", "--seed", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "Cookiewall landscape" in out
+
+    def test_run_json(self, capsys):
+        assert main(
+            ["run", "accuracy", "--scale", "0.02", "--seed", "7", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "accuracy" in payload
+        assert payload["accuracy"]["full_recall"] == 1.0
+
+
+class TestCrawlAndReport:
+    def test_crawl_writes_and_report_reads(self, tmp_path, capsys):
+        out_file = tmp_path / "records.jsonl"
+        assert main(
+            ["crawl", "--scale", "0.01", "--seed", "3",
+             "--vp", "DE", "--vp", "USE", "--out", str(out_file)]
+        ) == 0
+        assert out_file.exists()
+        crawl_out = capsys.readouterr().out
+        assert "wrote" in crawl_out
+
+        assert main(["report", str(out_file)]) == 0
+        report_out = capsys.readouterr().out
+        assert "DE:" in report_out
+        assert "unique cookiewall domains:" in report_out
+
+
+class TestExportToplists:
+    def test_export(self, tmp_path, capsys):
+        assert main(
+            ["export-toplists", "--scale", "0.01", "--seed", "3",
+             "--dir", str(tmp_path)]
+        ) == 0
+        files = sorted(p.name for p in tmp_path.glob("crux_*.csv"))
+        assert len(files) == 7
+        assert "crux_de.csv" in files

@@ -1,0 +1,26 @@
+"""Run the doctest examples embedded in public-API docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.bannerclick.corpus
+import repro.pricing.extract
+import repro.rng
+import repro.urlkit.psl
+
+
+@pytest.mark.parametrize(
+    "module",
+    [
+        repro.urlkit.psl,
+        repro.rng,
+        repro.pricing.extract,
+        repro.bannerclick.corpus,
+    ],
+    ids=lambda m: m.__name__,
+)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0
+    assert results.attempted > 0

@@ -1,0 +1,39 @@
+"""Smoke tests: the example scripts must run end to end."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, argv=None):
+    old_argv = sys.argv
+    sys.argv = [name] + (argv or [])
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+def test_quickstart_runs(capsys):
+    run_example("quickstart.py")
+    out = capsys.readouterr().out
+    assert "is cookiewall:   True" in out
+    assert "5-visit average" in out
+
+
+def test_revoking_acceptance_runs(capsys):
+    run_example("revoking_acceptance.py")
+    out = capsys.readouterr().out
+    assert "tracking cookies" in out
+    assert "subscriber recognised: True" in out
+
+
+def test_country_landscape_runs_small(capsys):
+    run_example("country_landscape.py", ["0.02"])
+    out = capsys.readouterr().out
+    assert "Frankfurt" in out
+    assert "Cookiewall landscape" in out

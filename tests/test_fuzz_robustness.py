@@ -1,0 +1,128 @@
+"""Fuzz-style robustness: parsers must never crash on arbitrary input.
+
+A measurement crawler survives the wild web only if its parsers fail
+closed: malformed HTML, headers, filters, and consent strings must
+produce errors or degraded output — never exceptions other than the
+library's own.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.consent.tcf import decode_tc_string
+from repro.errors import ParseError, ReproError
+from repro.httpkit import parse_cookie_header
+from repro.pricing import extract_price
+from repro.soup import parse_document
+from repro.soup.tokenizer import decode_entities, tokenize
+
+_printable = st.text(
+    alphabet=st.characters(min_codepoint=32, max_codepoint=0x2FF),
+    max_size=200,
+)
+_html_ish = st.text(
+    alphabet=st.sampled_from(list("<>=/\"' abcdefgWERT0123456789&;#!-")),
+    max_size=150,
+)
+
+
+class TestParserRobustness:
+    @given(text=_html_ish)
+    @settings(max_examples=150, deadline=None)
+    def test_tokenizer_never_crashes(self, text):
+        assert isinstance(list(tokenize(text)), list)
+
+    @given(text=_html_ish)
+    @settings(max_examples=150, deadline=None)
+    def test_parser_always_builds_a_document(self, text):
+        doc = parse_document(text)
+        assert doc.body is not None  # browsers always synthesise one
+
+    @given(text=_printable)
+    @settings(max_examples=100, deadline=None)
+    def test_entity_decoder_total(self, text):
+        assert isinstance(decode_entities(text), str)
+
+    @given(text=_printable)
+    @settings(max_examples=100, deadline=None)
+    def test_price_extractor_total(self, text):
+        result = extract_price(text)
+        assert result is None or result.monthly_eur_cents >= 0
+
+    @given(text=_printable)
+    @settings(max_examples=100, deadline=None)
+    def test_cookie_header_parser_total(self, text):
+        assert isinstance(parse_cookie_header(text), dict)
+
+    @given(token=_printable)
+    @settings(max_examples=100, deadline=None)
+    def test_tc_decoder_raises_only_parse_error(self, token):
+        try:
+            decode_tc_string(token)
+        except ParseError:
+            pass  # the only acceptable failure mode
+
+    @given(line=_printable)
+    @settings(max_examples=120, deadline=None)
+    def test_filter_parser_raises_only_filter_errors(self, line):
+        from repro.adblock.filters import parse_filter_line
+
+        try:
+            parse_filter_line(line)
+        except ReproError:
+            pass
+
+    @given(raw=_printable)
+    @settings(max_examples=120, deadline=None)
+    def test_url_parser_raises_only_url_error(self, raw):
+        from repro.errors import URLError
+        from repro.urlkit import parse
+
+        try:
+            parse(raw)
+        except URLError:
+            pass
+
+    @given(selector=st.text(
+        alphabet=st.sampled_from(list("div.#[]()>:*= abc-_,'\"")), max_size=40,
+    ))
+    @settings(max_examples=120, deadline=None)
+    def test_selector_parser_raises_only_selector_error(self, selector):
+        from repro.dom.selector import parse_selector
+        from repro.errors import SelectorError
+
+        try:
+            parse_selector(selector)
+        except SelectorError:
+            pass
+
+    @given(expr=st.text(
+        alphabet=st.sampled_from(list("/@[]()'= abcdeftx*")), max_size=40,
+    ))
+    @settings(max_examples=120, deadline=None)
+    def test_xpath_parser_raises_only_selector_error(self, expr):
+        from repro.dom.xpath import parse_xpath
+        from repro.errors import SelectorError
+
+        try:
+            parse_xpath(expr)
+        except SelectorError:
+            pass
+
+
+class TestDetectorRobustness:
+    @given(text=_html_ish)
+    @settings(max_examples=60, deadline=None)
+    def test_detector_handles_arbitrary_pages(self, text):
+        from repro.bannerclick import BannerClick
+        from repro.browser import Browser
+        from repro.netsim import Network, StaticServer
+        from repro.vantage import VANTAGE_POINTS
+
+        net = Network()
+        net.register("fuzz.de", StaticServer(text))
+        browser = Browser(net, VANTAGE_POINTS["DE"])
+        page = browser.visit("fuzz.de")
+        detection = BannerClick().detect(page)
+        assert detection.found in (True, False)

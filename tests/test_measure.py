@@ -1,0 +1,234 @@
+"""Tests for the measurement harness (crawls, cookies, storage)."""
+
+import pytest
+
+from repro.measure import (
+    CookieCounts,
+    Crawler,
+    count_cookies,
+    load_records,
+    save_records,
+)
+from repro.measure.accuracy import evaluate_records, random_audit
+from repro.measure.records import CookieMeasurement, UBlockRecord, VisitRecord
+from repro.blocklists import JustDomainsList
+from repro.httpkit import Cookie, CookieJar
+from repro.webgen import BannerKind
+
+
+class TestCookieCounting:
+    def make_jar(self):
+        jar = CookieJar()
+        jar.set_cookie(Cookie(name="a", value="1", domain="site.de"))
+        jar.set_cookie(Cookie(name="b", value="1", domain="cdnedge.net"))
+        jar.set_cookie(Cookie(name="c", value="1", domain="trackmax.com"))
+        return jar
+
+    def test_partition(self):
+        counts = count_cookies(
+            self.make_jar(), "site.de", JustDomainsList(["trackmax.com"])
+        )
+        assert counts == CookieCounts(first_party=1, third_party=2, tracking=1)
+
+    def test_baseline_subtraction(self):
+        jar = self.make_jar()
+        baseline = jar.snapshot()
+        jar.set_cookie(Cookie(name="new", value="1", domain="site.de"))
+        counts = count_cookies(
+            jar, "site.de", JustDomainsList([]), baseline=baseline
+        )
+        assert counts.first_party == 1
+        assert counts.third_party == 0
+
+
+class TestDetectionVisit:
+    def test_wall_visit_record(self, medium_world, medium_crawler):
+        domain = sorted(medium_world.wall_domains)[0]
+        record = medium_crawler.visit("DE", domain)
+        assert record.is_cookiewall
+        assert record.banner_text
+        assert record.detected_language != "und"
+
+    def test_unreachable_recorded(self, medium_world, medium_crawler):
+        dead = next(
+            d for d, s in medium_world.sites.items() if not s.reachable
+        )
+        record = medium_crawler.visit("DE", dead)
+        assert not record.reachable
+        assert record.error
+
+    def test_regular_site_record(self, medium_world, medium_crawler):
+        domain = next(
+            d for d in medium_world.crawl_targets
+            if medium_world.sites[d].banner is BannerKind.REGULAR
+            and medium_world.sites[d].reject_button
+        )
+        record = medium_crawler.visit("DE", domain)
+        assert record.banner_found
+        assert not record.is_cookiewall
+        assert record.has_accept
+
+    def test_eu_only_wall_invisible_from_us(self, medium_world, medium_crawler):
+        eu_only = [
+            d for d in medium_world.wall_domains
+            if "USE" not in medium_world.sites[d].wall.regions
+        ]
+        if not eu_only:
+            pytest.skip("no EU-only wall at this scale")
+        record = medium_crawler.visit("USE", eu_only[0])
+        assert not record.is_cookiewall
+
+    def test_crawl_vp_returns_all_records(self, medium_world, medium_crawler):
+        targets = medium_world.crawl_targets[:30]
+        records = medium_crawler.crawl_vp("DE", targets)
+        assert len(records) == 30
+        assert all(r.vp == "DE" for r in records)
+
+
+class TestAcceptMeasurement:
+    def test_wall_accept_measurement(self, medium_world, medium_crawler):
+        domain = sorted(medium_world.wall_domains)[0]
+        m = medium_crawler.measure_accept_cookies("DE", domain, repeats=3)
+        assert m.repeats == 3
+        assert m.avg_first_party > 0
+        assert m.avg_tracking > 0
+        assert m.avg_third_party >= m.avg_tracking
+
+    def test_accept_more_cookies_than_no_accept(self, medium_world, medium_crawler):
+        domain = sorted(medium_world.wall_domains)[0]
+        accepted = medium_crawler.measure_accept_cookies("DE", domain, repeats=2)
+        # A plain visit (wall shown, nothing clicked) sets no trackers.
+        jar = CookieJar()
+        browser = medium_world.browser("DE", jar=jar)
+        page = browser.visit(domain)
+        plain = count_cookies(jar, page.site, medium_world.tracking_list)
+        assert plain.tracking == 0
+        assert accepted.avg_tracking > 0
+
+    def test_repeat_averages_vary_fraction(self, medium_world, medium_crawler):
+        domain = sorted(medium_world.wall_domains)[1]
+        m = medium_crawler.measure_accept_cookies("DE", domain, repeats=5)
+        assert len(m.per_visit) == 5
+
+
+class TestSubscriptionMeasurement:
+    def test_subscription_suppresses_tracking(self, medium_world, medium_crawler):
+        platform = medium_world.platforms["contentpass"]
+        if "t@e.st" not in platform.accounts:
+            platform.create_account("t@e.st", "pw")
+        platform.purchase_subscription("t@e.st")
+        partner = platform.partner_domains[0]
+        m = medium_crawler.measure_subscription_cookies(
+            "DE", partner, platform, "t@e.st", "pw", repeats=3
+        )
+        assert m.error is None
+        assert m.avg_tracking == 0.0
+        assert m.avg_first_party > 0
+
+    def test_bad_credentials_error(self, medium_world, medium_crawler):
+        platform = medium_world.platforms["contentpass"]
+        partner = platform.partner_domains[0]
+        m = medium_crawler.measure_subscription_cookies(
+            "DE", partner, platform, "wrong@e.st", "nope", repeats=2
+        )
+        assert m.error == "MeasurementError"
+        assert m.repeats == 0
+
+    def test_consent_overrides_subscription(self, medium_world):
+        """Paper §5: accepted-then-subscribed users keep being tracked
+        until they clear the site's cookies."""
+        platform = medium_world.platforms["contentpass"]
+        if "t2@e.st" not in platform.accounts:
+            platform.create_account("t2@e.st", "pw")
+        platform.purchase_subscription("t2@e.st")
+        partner = platform.partner_domains[0]
+        jar = CookieJar()
+        browser = medium_world.browser("DE", jar=jar)
+        browser.visit(
+            f"https://{platform.domain}/login?email=t2@e.st&password=pw"
+        )
+        # Simulate an earlier "accept" on this site.
+        spec = medium_world.sites[partner]
+        jar.set_cookie(
+            Cookie(name=spec.consent_cookie, value="accept", domain=partner,
+                   host_only=False)
+        )
+        browser.visit(partner)
+        counts = count_cookies(jar, partner, medium_world.tracking_list)
+        assert counts.tracking > 0  # still tracked despite subscription
+        # Clearing site data and revisiting restores the subscription path.
+        browser.clear_site_data(partner)
+        before = jar.snapshot()
+        browser.visit(partner)
+        counts = count_cookies(
+            jar, partner, medium_world.tracking_list, baseline=before
+        )
+        assert counts.tracking == 0
+
+
+class TestUBlockMeasurement:
+    def test_smp_wall_suppressed(self, medium_world, medium_crawler):
+        smp_wall = next(
+            d for d in sorted(medium_world.wall_domains)
+            if medium_world.sites[d].wall.serving == "smp"
+        )
+        record = medium_crawler.measure_ublock("DE", smp_wall, iterations=2)
+        assert record.suppressed
+
+    def test_inline_wall_not_suppressed(self, medium_world, medium_crawler):
+        inline = next(
+            (d for d in sorted(medium_world.wall_domains)
+             if medium_world.sites[d].wall.serving == "inline"),
+            None,
+        )
+        if inline is None:
+            pytest.skip("no inline wall at this scale")
+        record = medium_crawler.measure_ublock("DE", inline, iterations=2)
+        assert not record.suppressed
+
+
+class TestAccuracy:
+    def test_evaluate_records(self, medium_world):
+        records = [
+            VisitRecord(vp="DE", domain=d, is_cookiewall=True)
+            for d in medium_world.wall_domains
+        ]
+        records.append(
+            VisitRecord(vp="DE", domain=list(medium_world.bait_domains)[0],
+                        is_cookiewall=True)
+        )
+        report = evaluate_records(medium_world, records)
+        assert report.true_positives == len(medium_world.wall_domains)
+        assert report.false_positives == 1
+        assert report.recall == 1.0
+        assert report.precision < 1.0
+
+    def test_random_audit(self, medium_world, medium_crawler):
+        report = random_audit(
+            medium_world, medium_crawler, sample_size=120, seed=5
+        )
+        assert report.recall == 1.0
+        assert report.false_negatives == 0
+
+
+class TestStorage:
+    def test_round_trip(self, tmp_path):
+        records = [
+            VisitRecord(vp="DE", domain="a.de", is_cookiewall=True),
+            CookieMeasurement(vp="DE", domain="a.de", mode="accept",
+                              repeats=5, avg_tracking=42.5),
+            UBlockRecord(domain="a.de", iterations=5, suppressed=True),
+        ]
+        path = tmp_path / "out" / "records.jsonl"
+        assert save_records(records, path) == 3
+        loaded = load_records(path)
+        assert len(loaded) == 3
+        assert isinstance(loaded[0], VisitRecord)
+        assert loaded[1].avg_tracking == 42.5
+        assert loaded[2].suppressed
+
+    def test_unknown_type_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type": "Mystery", "data": {}}\n')
+        with pytest.raises(ValueError):
+            load_records(path)

@@ -1,0 +1,154 @@
+"""Tests for the CSS selector engine."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dom import query_selector_all, matches_selector
+from repro.dom.selector import query_selector
+from repro.errors import SelectorError
+from repro.soup import parse_document
+
+HTML = """
+<html><body>
+  <div id="banner" class="cookie consent" data-cmp="sp">
+    <p class="msg">We use cookies</p>
+    <button id="accept" class="btn primary">Accept all</button>
+    <button id="reject" class="btn">Reject</button>
+  </div>
+  <div class="content">
+    <p>article text</p>
+    <a href="https://example.de/more">more</a>
+  </div>
+</body></html>
+"""
+
+
+@pytest.fixture(scope="module")
+def doc():
+    return parse_document(HTML)
+
+
+class TestBasicSelectors:
+    def test_by_tag(self, doc):
+        assert len(query_selector_all(doc, "button")) == 2
+
+    def test_universal(self, doc):
+        assert len(query_selector_all(doc, "*")) >= 8
+
+    def test_by_id(self, doc):
+        els = query_selector_all(doc, "#accept")
+        assert len(els) == 1
+        assert els[0].text_content() == "Accept all"
+
+    def test_by_class(self, doc):
+        assert len(query_selector_all(doc, ".btn")) == 2
+
+    def test_compound_classes(self, doc):
+        assert len(query_selector_all(doc, ".btn.primary")) == 1
+
+    def test_tag_and_class(self, doc):
+        assert len(query_selector_all(doc, "div.cookie")) == 1
+
+    def test_no_match(self, doc):
+        assert query_selector_all(doc, ".missing") == []
+        assert query_selector(doc, ".missing") is None
+
+
+class TestAttributeSelectors:
+    def test_exists(self, doc):
+        assert len(query_selector_all(doc, "[data-cmp]")) == 1
+
+    def test_equals(self, doc):
+        assert len(query_selector_all(doc, '[data-cmp="sp"]')) == 1
+        assert query_selector_all(doc, '[data-cmp="other"]') == []
+
+    def test_contains(self, doc):
+        assert len(query_selector_all(doc, '[href*="example.de"]')) == 1
+
+    def test_starts_ends(self, doc):
+        assert len(query_selector_all(doc, '[href^="https://"]')) == 1
+        assert len(query_selector_all(doc, '[href$="/more"]')) == 1
+
+    def test_word_match(self, doc):
+        assert len(query_selector_all(doc, '[class~="consent"]')) == 1
+
+
+class TestCombinators:
+    def test_descendant(self, doc):
+        assert len(query_selector_all(doc, "div button")) == 2
+
+    def test_child(self, doc):
+        assert len(query_selector_all(doc, "#banner > button")) == 2
+        assert query_selector_all(doc, "body > button") == []
+
+    def test_deep_descendant(self, doc):
+        assert len(query_selector_all(doc, "body .content p")) == 1
+
+    def test_group(self, doc):
+        els = query_selector_all(doc, "#accept, #reject")
+        assert {e.id for e in els} == {"accept", "reject"}
+
+    def test_not(self, doc):
+        els = query_selector_all(doc, "button:not(.primary)")
+        assert [e.id for e in els] == ["reject"]
+
+
+class TestMatches:
+    def test_matches_selector(self, doc):
+        button = query_selector(doc, "#accept")
+        assert matches_selector(button, "button.btn")
+        assert not matches_selector(button, "div")
+
+    def test_matches_with_ancestry(self, doc):
+        button = query_selector(doc, "#accept")
+        assert matches_selector(button, "#banner > button")
+        assert not matches_selector(button, ".content button")
+
+
+class TestShadowBoundary:
+    def test_selector_does_not_pierce_shadow(self):
+        doc = parse_document(
+            '<div id="host"><template shadowrootmode="open">'
+            "<button>hidden</button></template></div>"
+        )
+        assert query_selector_all(doc, "button") == []
+
+    def test_selector_does_not_pierce_iframe(self):
+        doc = parse_document(
+            '<iframe srcdoc="&lt;button&gt;inner&lt;/button&gt;"></iframe>'
+        )
+        assert query_selector_all(doc, "button") == []
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad", ["", "  ", ">div", "div >", "[unclosed", "div:(hover)", "::"]
+    )
+    def test_bad_selector_raises(self, bad, doc):
+        with pytest.raises(SelectorError):
+            query_selector_all(doc, bad)
+
+    def test_unknown_pseudo_raises(self, doc):
+        with pytest.raises(SelectorError):
+            query_selector_all(doc, "div:hover")
+
+
+class TestSelectorProperties:
+    @given(
+        tag=st.sampled_from(["div", "p", "span", "button"]),
+        cls=st.sampled_from(["a", "b", "c"]),
+    )
+    def test_query_results_all_match(self, tag, cls):
+        doc = parse_document(
+            f'<{tag} class="{cls}"><p class="a">x</p></{tag}><div class="b"></div>'
+        )
+        selector = f"{tag}.{cls}"
+        for el in query_selector_all(doc, selector):
+            assert matches_selector(el, selector)
+
+    @given(n=st.integers(min_value=0, max_value=12))
+    def test_count_matches_generated(self, n):
+        html = "".join(f'<span class="t" id="s{i}"></span>' for i in range(n))
+        doc = parse_document(f"<div>{html}</div>")
+        assert len(query_selector_all(doc, "span.t")) == n

@@ -1,0 +1,175 @@
+"""Unit tests for the site server's visitor-state machine.
+
+The server's decision table (who sees the wall, when trackers render)
+drives every headline number in the paper; this battery pins each cell
+of the consent × region × subscription matrix.
+"""
+
+import pytest
+
+from repro.httpkit import Headers, Request
+from repro.netsim import VisitorContext
+from repro.vantage import VANTAGE_POINTS
+from repro.webgen.sites import SiteServer
+from repro.webgen.spec import BannerKind, SiteSpec, WallSpec
+
+EU_ONLY = frozenset({"DE", "SE"})
+ALL = frozenset(VANTAGE_POINTS)
+
+
+def make_wall_spec(regions=ALL, smp=None):
+    return SiteSpec(
+        domain="state.de",
+        tld="de",
+        language="de",
+        category="News and Media",
+        banner=BannerKind.COOKIEWALL,
+        reject_button=False,
+        site_name="State",
+        smp=smp,
+        wall=WallSpec(
+            placement="main",
+            serving="smp" if smp else "inline",
+            provider=f"{smp}.net" if smp else None,
+            monthly_price_cents=299,
+            display_currency="EUR",
+            billing_period="month",
+            regions=regions,
+        ),
+    )
+
+
+def make_regular_spec(audience="eu"):
+    return SiteSpec(
+        domain="state.de",
+        tld="de",
+        language="de",
+        category="Business",
+        banner=BannerKind.REGULAR,
+        banner_audience=audience,
+        site_name="State",
+    )
+
+
+def states(spec, vp_code, cookie=""):
+    headers = Headers()
+    if cookie:
+        headers.add("cookie", cookie)
+    request = Request(url="https://state.de/", headers=headers)
+    visitor = VisitorContext(vp=VANTAGE_POINTS[vp_code])
+    return SiteServer._states(spec, request, visitor)
+
+
+class TestWallStates:
+    def test_fresh_eu_visit_shows_wall_no_trackers(self):
+        consent, rejected, sub, wall, banner, trackers = states(
+            make_wall_spec(), "DE"
+        )
+        assert wall and not trackers and not consent
+
+    def test_consented_eu_visit_loads_trackers(self):
+        consent, _, _, wall, _, trackers = states(
+            make_wall_spec(), "DE", cookie="cw_consent=accept"
+        )
+        assert consent and not wall and trackers
+
+    def test_non_eu_out_of_region_tracks_without_wall(self):
+        _, _, _, wall, _, trackers = states(
+            make_wall_spec(regions=EU_ONLY), "USE"
+        )
+        assert not wall and trackers
+
+    def test_eu_out_of_region_stays_gdpr_safe(self):
+        # A DE-only wall: Swedish visitors get neither wall nor trackers.
+        _, _, _, wall, _, trackers = states(
+            make_wall_spec(regions=frozenset({"DE"})), "SE"
+        )
+        assert not wall and not trackers
+
+    def test_non_eu_in_region_gets_wall_and_no_trackers(self):
+        _, _, _, wall, _, trackers = states(make_wall_spec(), "USE")
+        assert wall and not trackers
+
+    def test_subscriber_suppresses_wall_and_trackers(self):
+        spec = make_wall_spec(smp="contentpass")
+        _, _, sub, wall, _, trackers = states(
+            spec, "DE", cookie="contentpass_subscriber=1"
+        )
+        assert sub and not wall and not trackers
+
+    def test_consent_beats_subscription(self):
+        """Paper §5: prior consent keeps tracking alive for subscribers."""
+        spec = make_wall_spec(smp="contentpass")
+        consent, _, sub, wall, _, trackers = states(
+            spec, "DE",
+            cookie="contentpass_subscriber=1; cw_consent=accept",
+        )
+        assert consent and sub and trackers and not wall
+
+
+class TestRegularStates:
+    def test_eu_visit_shows_banner_gates_trackers(self):
+        _, _, _, _, banner, trackers = states(make_regular_spec(), "DE")
+        assert banner and not trackers
+
+    def test_non_eu_visit_tracks_without_banner(self):
+        _, _, _, _, banner, trackers = states(make_regular_spec(), "IN")
+        assert not banner and trackers
+
+    def test_audience_all_shows_banner_everywhere(self):
+        _, _, _, _, banner, trackers = states(
+            make_regular_spec(audience="all"), "IN"
+        )
+        assert banner and not trackers
+
+    def test_consent_loads_trackers_and_hides_banner(self):
+        consent, _, _, _, banner, trackers = states(
+            make_regular_spec(), "DE", cookie="cmp_consent=accept"
+        )
+        assert consent and trackers and not banner
+
+    def test_reject_suppresses_both(self):
+        _, rejected, _, _, banner, trackers = states(
+            make_regular_spec(), "DE", cookie="cmp_consent=reject"
+        )
+        assert rejected and not banner and not trackers
+
+    def test_reject_also_gates_non_eu(self):
+        _, rejected, _, _, _, trackers = states(
+            make_regular_spec(), "IN", cookie="cmp_consent=reject"
+        )
+        assert rejected and not trackers
+
+    def test_tcf_accept_string_counts_as_consent(self):
+        from repro.consent.tcf import accept_all_string
+
+        token = accept_all_string(12)
+        consent, _, _, _, banner, trackers = states(
+            make_regular_spec(), "DE", cookie=f"cmp_consent={token}"
+        )
+        assert consent and trackers and not banner
+
+    def test_tcf_reject_string_counts_as_reject(self):
+        from repro.consent.tcf import reject_all_string
+
+        token = reject_all_string(12)
+        _, rejected, _, _, banner, trackers = states(
+            make_regular_spec(), "DE", cookie=f"cmp_consent={token}"
+        )
+        assert rejected and not trackers
+
+    def test_garbage_consent_value_ignored(self):
+        consent, rejected, _, _, banner, _ = states(
+            make_regular_spec(), "DE", cookie="cmp_consent=gibberish!!"
+        )
+        assert not consent and not rejected and banner
+
+
+class TestNoBannerSites:
+    def test_banner_none_tracks_by_default(self):
+        spec = SiteSpec(
+            domain="state.de", tld="de", language="de",
+            category="Business", site_name="S",
+        )
+        _, _, _, wall, banner, trackers = states(spec, "DE")
+        assert not wall and not banner and trackers

@@ -1,0 +1,113 @@
+"""Tests for the SMP platform model and login/subscription flows."""
+
+import pytest
+
+from repro.errors import AuthenticationError
+from repro.smp import SMPAccount, SMPPlatform
+
+
+class TestAccounts:
+    def make_platform(self):
+        return SMPPlatform("contentpass", "contentpass.net")
+
+    def test_create_and_verify(self):
+        platform = self.make_platform()
+        platform.create_account("a@b.c", "pw")
+        account = platform.verify("a@b.c", "pw")
+        assert not account.subscribed
+
+    def test_duplicate_account_rejected(self):
+        platform = self.make_platform()
+        platform.create_account("a@b.c", "pw")
+        with pytest.raises(AuthenticationError):
+            platform.create_account("a@b.c", "other")
+
+    def test_wrong_password_rejected(self):
+        platform = self.make_platform()
+        platform.create_account("a@b.c", "pw")
+        with pytest.raises(AuthenticationError):
+            platform.verify("a@b.c", "wrong")
+
+    def test_purchase(self):
+        platform = self.make_platform()
+        platform.create_account("a@b.c", "pw")
+        platform.purchase_subscription("a@b.c")
+        assert platform.verify("a@b.c", "pw").subscribed
+
+    def test_purchase_without_account(self):
+        with pytest.raises(AuthenticationError):
+            self.make_platform().purchase_subscription("nobody@x.y")
+
+    def test_token_lookup(self):
+        platform = self.make_platform()
+        account = platform.create_account("a@b.c", "pw")
+        assert platform.account_for_token(account.token) is account
+        assert platform.account_for_token("bogus") is None
+
+    def test_tokens_differ(self):
+        assert (
+            SMPAccount("a@b.c", "pw").token != SMPAccount("d@e.f", "pw").token
+        )
+
+    def test_cookie_names(self):
+        platform = self.make_platform()
+        assert platform.session_cookie == "contentpass_session"
+        assert platform.subscriber_cookie == "contentpass_subscriber"
+
+
+class TestLoginFlow:
+    def test_login_sets_session_cookie(self, medium_world):
+        platform = medium_world.platforms["contentpass"]
+        if "login@t.st" not in platform.accounts:
+            platform.create_account("login@t.st", "pw")
+        browser = medium_world.browser("DE")
+        page = browser.visit(
+            f"https://{platform.domain}/login?email=login@t.st&password=pw"
+        )
+        assert page.status == 200
+        assert browser.jar.has(platform.session_cookie, platform.domain)
+
+    def test_failed_login_no_cookie(self, medium_world):
+        platform = medium_world.platforms["contentpass"]
+        browser = medium_world.browser("DE")
+        page = browser.visit(
+            f"https://{platform.domain}/login?email=x@y.z&password=bad"
+        )
+        assert page.status == 401
+        assert not browser.jar.has(platform.session_cookie, platform.domain)
+
+    def test_subscribed_visitor_sees_no_wall(self, medium_world):
+        from repro.bannerclick import BannerClick
+
+        platform = medium_world.platforms["contentpass"]
+        if "nowall@t.st" not in platform.accounts:
+            platform.create_account("nowall@t.st", "pw")
+        platform.purchase_subscription("nowall@t.st")
+        partner = platform.partner_domains[0]
+        browser = medium_world.browser("DE")
+        browser.visit(
+            f"https://{platform.domain}/login?email=nowall@t.st&password=pw"
+        )
+        page = browser.visit(partner)
+        assert page.flags.get("smp_subscriber")
+        assert not BannerClick().detect(page).is_cookiewall
+
+    def test_unsubscribed_visitor_sees_wall(self, medium_world):
+        from repro.bannerclick import BannerClick
+
+        platform = medium_world.platforms["contentpass"]
+        if "free@t.st" not in platform.accounts:
+            platform.create_account("free@t.st", "pw")  # no purchase
+        partner = platform.partner_domains[0]
+        browser = medium_world.browser("DE")
+        browser.visit(
+            f"https://{platform.domain}/login?email=free@t.st&password=pw"
+        )
+        page = browser.visit(partner)
+        assert BannerClick().detect(page).is_cookiewall
+
+    def test_checkout_page_served(self, medium_world):
+        platform = medium_world.platforms["contentpass"]
+        browser = medium_world.browser("DE")
+        page = browser.visit(f"https://{platform.domain}/checkout")
+        assert "2,99" in page.visible_text()
