@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Tuple, Union
+from typing import Callable, Iterable, List, Optional, Tuple, Union
 
 from repro.browser.effects import EFFECTS_CONTENT_TYPE, EffectRuntime, decode_effects
 from repro.browser.extensions import Extension
@@ -47,6 +47,7 @@ class Browser:
         instruments: Iterable = (),
         stealth: bool = True,
         user_agent: str = _DEFAULT_UA,
+        visit_ids: Optional[Callable[[], int]] = None,
     ) -> None:
         self.network = network
         self.vp = vp
@@ -56,6 +57,12 @@ class Browser:
         self.instruments: List = list(instruments)
         self.stealth = stealth
         self.user_agent = user_agent
+        #: Optional private visit-id allocator.  By default navigations
+        #: draw from the network's shared monotonic counter; the crawl
+        #: engine's parallel mode supplies a deterministic per-task
+        #: stream instead so measurements don't depend on thread
+        #: scheduling.
+        self._visit_ids = visit_ids
         self._visitor: Optional[VisitorContext] = None
 
     def _emit(self, hook: str, *args) -> None:
@@ -72,7 +79,11 @@ class Browser:
             vp=self.vp,
             user_agent=self.user_agent,
             stealth=self.stealth,
-            visit_id=self.network.next_visit_id(),
+            visit_id=(
+                self._visit_ids()
+                if self._visit_ids is not None
+                else self.network.next_visit_id()
+            ),
         )
         visit_id = self._visitor.visit_id
         self._emit("on_navigation", visit_id, str(url))

@@ -36,6 +36,25 @@ def _add_world_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _positive_int(value: str) -> int:
+    count = int(value)
+    if count < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {count}")
+    return count
+
+
+def _add_engine_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers", type=_positive_int, default=1,
+        help="crawl-engine worker threads (default 1 = serial)",
+    )
+    parser.add_argument(
+        "--shards", type=_positive_int, default=None,
+        help="crawl-engine shard count (default: 1 serial, 4x workers "
+             "parallel; tasks are sharded by a stable domain hash)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-cookiewalls",
@@ -63,9 +82,34 @@ def build_parser() -> argparse.ArgumentParser:
         "crawl", help="run a detection crawl and save JSONL records"
     )
     _add_world_args(crawl)
+    _add_engine_args(crawl)
     crawl.add_argument("--vp", action="append", default=None,
                        help="vantage point code (repeatable; default: all)")
     crawl.add_argument("--out", required=True, help="output JSONL path")
+
+    measure = sub.add_parser(
+        "measure",
+        help="run cookie/uBlock measurements through the crawl engine, "
+             "streaming JSONL records shard-by-shard",
+    )
+    _add_world_args(measure)
+    _add_engine_args(measure)
+    measure.add_argument("--vp", default="DE",
+                         help="vantage point code (default: DE)")
+    measure.add_argument(
+        "--mode", choices=("accept", "reject", "ublock"), default="accept",
+        help="measurement mode (default: accept)",
+    )
+    measure.add_argument(
+        "--repeats", type=_positive_int, default=5,
+        help="visits per domain (default 5, the paper's methodology)",
+    )
+    measure.add_argument(
+        "--domain", action="append", default=None,
+        help="target domain (repeatable; default: detected wall domains "
+             "from a fresh detection crawl)",
+    )
+    measure.add_argument("--out", required=True, help="output JSONL path")
 
     report = sub.add_parser(
         "report", help="summarise saved crawl records (walls per VP)"
@@ -111,15 +155,52 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if args.command == "crawl":
-        from repro.measure import Crawler, save_records
+        from repro.measure import Crawler, CrawlEngine
+        from repro.measure.crawl import CrawlResult
 
         world = build_world(scale=args.scale, seed=args.seed)
         crawler = Crawler(world)
-        result = crawler.crawl_all(args.vp)
-        count = save_records(result.records, args.out)
+        plan = crawler.plan_detection_crawl(args.vp)
+        # Shard output spools to <out>.partial as the crawl runs (a
+        # crash keeps the completed shards without clobbering an older
+        # --out file); success writes --out in plan order.
+        engine = CrawlEngine(
+            crawler, workers=args.workers, shards=args.shards,
+            spool_path=args.out,
+        )
+        result = CrawlResult(records=engine.execute(plan).records)
         walls = len(result.cookiewall_domains())
-        print(f"wrote {count} records to {args.out} "
+        print(f"wrote {len(result.records)} records to {args.out} "
               f"({walls} unique cookiewall domains)")
+        return 0
+
+    if args.command == "measure":
+        from repro.measure import Crawler, CrawlEngine
+
+        world = build_world(scale=args.scale, seed=args.seed)
+        crawler = Crawler(world)
+        domains = args.domain
+        if not domains:
+            crawl = crawler.crawl_all(
+                [args.vp], workers=args.workers, shards=args.shards
+            )
+            domains = crawl.cookiewall_domains()
+        if args.mode == "ublock":
+            plan = crawler.plan_ublock(
+                args.vp, domains, iterations=args.repeats
+            )
+        else:
+            plan = crawler.plan_cookie_measurements(
+                args.vp, domains, mode=args.mode, repeats=args.repeats
+            )
+        engine = CrawlEngine(
+            crawler, workers=args.workers, shards=args.shards,
+            spool_path=args.out,
+        )
+        result = engine.execute(plan)
+        print(f"wrote {len(result.records)} {args.mode} records to "
+              f"{args.out} ({result.tasks_per_sec:.1f} tasks/s, "
+              f"{len(result.failures)} failures)")
         return 0
 
     if args.command == "report":

@@ -4,14 +4,27 @@ The detection crawl (8 VPs × 45k sites) and the cookie measurements
 are expensive; every experiment that needs them shares one
 :class:`ExperimentContext` so the work happens once (the paper
 likewise derives all analyses from one crawl dataset).
+
+Every cached product is compiled into a
+:class:`~repro.measure.engine.CrawlPlan` and executed through the
+sharded crawl engine instead of an ad-hoc loop.  The default
+``workers=1, shards=1`` configuration reproduces the pre-engine serial
+harness exactly.  Raising ``workers`` parallelises every batch — note
+that this switches cookie/uBlock measurements to the engine's per-task
+visit-id streams: their values stay fully deterministic (identical
+across reruns and parallel configurations) but differ from the serial
+baseline's, because the world keys ad rotation and cookie-count jitter
+on visit ids.  Detection-crawl products are identical in both regimes.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from repro.measure.crawl import Crawler, CrawlResult
+from repro.measure.engine import CrawlEngine, CrawlPlan
+from repro.measure.instrumentation import EventLog
 from repro.measure.records import CookieMeasurement, UBlockRecord, VisitRecord
 from repro.vantage import VANTAGE_POINTS
 from repro.webgen.world import World
@@ -31,12 +44,18 @@ class ExperimentContext:
         repeats: int = 5,
         vps: Optional[Sequence[str]] = None,
         sample_seed: int = 1234,
+        workers: int = 1,
+        shards: Optional[int] = None,
+        event_log: Optional[EventLog] = None,
     ) -> None:
         self.world = world
         self.crawler = crawler or Crawler(world)
         self.repeats = repeats
         self.vps = list(vps) if vps is not None else list(VANTAGE_POINTS)
         self.sample_seed = sample_seed
+        self.workers = workers
+        self.shards = shards
+        self.event_log = event_log
         self._detection_crawl: Optional[CrawlResult] = None
         self._wall_measurements: Optional[List[CookieMeasurement]] = None
         self._regular_measurements: Optional[List[CookieMeasurement]] = None
@@ -45,12 +64,23 @@ class ExperimentContext:
         self._ublock: Optional[List[UBlockRecord]] = None
         self._account_ready = False
 
+    def _execute(self, plan: CrawlPlan) -> List:
+        """Run *plan* through a fresh engine with this context's config."""
+        engine = CrawlEngine(
+            self.crawler,
+            workers=self.workers,
+            shards=self.shards,
+            event_log=self.event_log,
+        )
+        return engine.execute(plan).records
+
     # ------------------------------------------------------------------
     # Detection crawl products
     # ------------------------------------------------------------------
     def detection_crawl(self) -> CrawlResult:
         if self._detection_crawl is None:
-            self._detection_crawl = self.crawler.crawl_all(self.vps)
+            plan = self.crawler.plan_detection_crawl(self.vps)
+            self._detection_crawl = CrawlResult(records=self._execute(plan))
         return self._detection_crawl
 
     def wall_records_de(self) -> List[VisitRecord]:
@@ -81,12 +111,12 @@ class ExperimentContext:
     # ------------------------------------------------------------------
     def wall_measurements(self) -> List[CookieMeasurement]:
         if self._wall_measurements is None:
-            self._wall_measurements = [
-                self.crawler.measure_accept_cookies(
-                    "DE", domain, repeats=self.repeats
+            self._wall_measurements = self._execute(
+                self.crawler.plan_cookie_measurements(
+                    "DE", self.verified_wall_domains(),
+                    mode="accept", repeats=self.repeats,
                 )
-                for domain in self.verified_wall_domains()
-            ]
+            )
         return self._wall_measurements
 
     def regular_measurements(self) -> List[CookieMeasurement]:
@@ -96,12 +126,11 @@ class ExperimentContext:
             rng = random.Random(self.sample_seed)
             count = min(len(self.verified_wall_domains()), len(pool))
             sample = rng.sample(pool, count)
-            self._regular_measurements = [
-                self.crawler.measure_accept_cookies(
-                    "DE", domain, repeats=self.repeats
+            self._regular_measurements = self._execute(
+                self.crawler.plan_cookie_measurements(
+                    "DE", sample, mode="accept", repeats=self.repeats,
                 )
-                for domain in sample
-            ]
+            )
         return self._regular_measurements
 
     # ------------------------------------------------------------------
@@ -118,26 +147,24 @@ class ExperimentContext:
     def contentpass_accept(self) -> List[CookieMeasurement]:
         if self._cp_accept is None:
             partners = self.world.partner_domains("contentpass")
-            self._cp_accept = [
-                self.crawler.measure_accept_cookies(
-                    "DE", domain, repeats=self.repeats
+            self._cp_accept = self._execute(
+                self.crawler.plan_cookie_measurements(
+                    "DE", partners, mode="accept", repeats=self.repeats,
                 )
-                for domain in partners
-            ]
+            )
         return self._cp_accept
 
     def contentpass_subscription(self) -> List[CookieMeasurement]:
         if self._cp_subscription is None:
             self._ensure_account()
             platform = self.world.platforms["contentpass"]
-            self._cp_subscription = [
-                self.crawler.measure_subscription_cookies(
-                    "DE", domain, platform,
+            self._cp_subscription = self._execute(
+                self.crawler.plan_subscription_measurements(
+                    "DE", platform.partner_domains, "contentpass",
                     _ACCOUNT_EMAIL, _ACCOUNT_PASSWORD,
                     repeats=self.repeats,
                 )
-                for domain in platform.partner_domains
-            ]
+            )
         return self._cp_subscription
 
     # ------------------------------------------------------------------
@@ -145,10 +172,10 @@ class ExperimentContext:
     # ------------------------------------------------------------------
     def ublock_records(self) -> List[UBlockRecord]:
         if self._ublock is None:
-            self._ublock = [
-                self.crawler.measure_ublock(
-                    "DE", domain, iterations=self.repeats
+            self._ublock = self._execute(
+                self.crawler.plan_ublock(
+                    "DE", self.verified_wall_domains(),
+                    iterations=self.repeats,
                 )
-                for domain in self.verified_wall_domains()
-            ]
+            )
         return self._ublock

@@ -2,21 +2,42 @@
 
 Provides multi-vantage-point detection crawls, cookie measurements
 with repeat visits, SMP subscription measurements, uBlock bypass
-measurements, accuracy evaluation, and record storage.
+measurements, accuracy evaluation, record storage, and the sharded
+crawl engine that schedules all of the above (plan → shard → execute →
+merge; see :mod:`repro.measure.engine`).
 """
 
 from repro.measure.cookies_analysis import CookieCounts, count_cookies
 from repro.measure.crawl import Crawler, CrawlResult
+from repro.measure.engine import (
+    CrawlEngine,
+    CrawlPlan,
+    CrawlTask,
+    EngineResult,
+    ParallelExecutor,
+    RetryPolicy,
+    SerialExecutor,
+    TaskOutcome,
+)
 from repro.measure.records import CookieMeasurement, VisitRecord
-from repro.measure.storage import load_records, save_records
+from repro.measure.storage import iter_records, load_records, save_records
 
 __all__ = [
     "Crawler",
     "CrawlResult",
+    "CrawlEngine",
+    "CrawlPlan",
+    "CrawlTask",
+    "EngineResult",
+    "TaskOutcome",
+    "RetryPolicy",
+    "SerialExecutor",
+    "ParallelExecutor",
     "VisitRecord",
     "CookieMeasurement",
     "CookieCounts",
     "count_cookies",
     "save_records",
     "load_records",
+    "iter_records",
 ]

@@ -11,10 +11,14 @@ from repro.errors import MeasurementError, NavigationError, NetworkError
 from repro.httpkit import CookieJar
 from repro.lang import LanguageDetector
 from repro.measure.cookies_analysis import CookieCounts, average_counts, count_cookies
+from repro.measure.engine import CrawlEngine, CrawlPlan, CrawlTask
 from repro.measure.records import CookieMeasurement, UBlockRecord, VisitRecord
 from repro.smp import SMPPlatform
 from repro.vantage import VANTAGE_POINTS
 from repro.webgen.world import World
+
+#: Legacy progress cadence of the serial crawler, kept for the wrappers.
+PROGRESS_BATCH = 1000
 
 
 @dataclass
@@ -75,10 +79,13 @@ class Crawler:
         *,
         extensions: Sequence = (),
         detect_language: bool = True,
+        visit_ids=None,
     ) -> VisitRecord:
         """One detection visit with a fresh browser profile."""
         record = VisitRecord(vp=vp, domain=domain)
-        browser = self.world.browser(vp, extensions=extensions)
+        browser = self.world.browser(
+            vp, extensions=extensions, visit_ids=visit_ids
+        )
         try:
             page = browser.visit(domain)
         except (NavigationError, NetworkError) as exc:
@@ -109,16 +116,34 @@ class Crawler:
         domains: Optional[Iterable[str]] = None,
         *,
         progress: Optional[Callable[[int, int], None]] = None,
+        workers: int = 1,
+        shards: Optional[int] = None,
     ) -> List[VisitRecord]:
-        """Detection-crawl *domains* (default: the full target union)."""
-        targets = list(domains) if domains is not None else self.world.crawl_targets
-        records = []
-        total = len(targets)
-        for index, domain in enumerate(targets):
-            records.append(self.visit(vp, domain))
-            if progress is not None and (index + 1) % 1000 == 0:
-                progress(index + 1, total)
-        return records
+        """Detection-crawl *domains* (default: the full target union).
+
+        A thin wrapper over the crawl engine: compiles a single-VP
+        detection plan and executes it with *workers* threads.
+        *progress* fires every :data:`PROGRESS_BATCH` sites and — unlike
+        the old serial loop — once more for the final partial batch, so
+        short crawls also report completion.
+        """
+        plan = self.plan_detection_crawl([vp], domains)
+        engine_progress = None
+        if progress is not None:
+            # Count completions locally (engine hook calls are
+            # serialised) so batch milestones stay monotonic even when
+            # parallel workers finish tasks out of order.
+            completed = {"done": 0}
+
+            def engine_progress(_done: int, total: int, _task: CrawlTask) -> None:
+                completed["done"] += 1
+                done = completed["done"]
+                if done % PROGRESS_BATCH == 0 or done == total:
+                    progress(done, total)
+        engine = CrawlEngine(
+            self, workers=workers, shards=shards, progress=engine_progress
+        )
+        return engine.execute(plan).records
 
     def crawl_all(
         self,
@@ -126,32 +151,157 @@ class Crawler:
         domains: Optional[Iterable[str]] = None,
         *,
         progress: Optional[Callable[[str, int, int], None]] = None,
+        workers: int = 1,
+        shards: Optional[int] = None,
     ) -> CrawlResult:
-        """The full multi-VP detection crawl."""
+        """The full multi-VP detection crawl, engine-executed.
+
+        For a fixed world seed the returned records are identical for
+        every *workers*/*shards* combination: outcomes are merged in
+        plan (vp-major, then target) order and detection visits do not
+        depend on scheduling.
+        """
         vps = list(vps) if vps is not None else list(VANTAGE_POINTS)
         targets = list(domains) if domains is not None else self.world.crawl_targets
-        result = CrawlResult()
-        for vp in vps:
-            vp_progress = None
-            if progress is not None:
-                vp_progress = lambda done, total, _vp=vp: progress(_vp, done, total)
-            result.records.extend(
-                self.crawl_vp(vp, targets, progress=vp_progress)
+        plan = self.plan_detection_crawl(vps, targets)
+        per_vp_total = len(targets)
+        done_by_vp: Dict[str, int] = {}
+        engine_progress = None
+        if progress is not None:
+            def engine_progress(done: int, total: int, task: CrawlTask) -> None:
+                done_vp = done_by_vp.get(task.vp, 0) + 1
+                done_by_vp[task.vp] = done_vp
+                if done_vp % PROGRESS_BATCH == 0 or done_vp == per_vp_total:
+                    progress(task.vp, done_vp, per_vp_total)
+        engine = CrawlEngine(
+            self, workers=workers, shards=shards, progress=engine_progress
+        )
+        return CrawlResult(records=engine.execute(plan).records)
+
+    # ------------------------------------------------------------------
+    # Plan compilation (the engine's front end)
+    # ------------------------------------------------------------------
+    def plan_detection_crawl(
+        self,
+        vps: Optional[Sequence[str]] = None,
+        domains: Optional[Iterable[str]] = None,
+    ) -> CrawlPlan:
+        """Compile the multi-VP detection crawl into a task plan."""
+        vps = list(vps) if vps is not None else list(VANTAGE_POINTS)
+        targets = list(domains) if domains is not None else self.world.crawl_targets
+        return CrawlPlan(tasks=[
+            CrawlTask(vp=vp, domain=domain, mode="detect")
+            for vp in vps
+            for domain in targets
+        ])
+
+    def plan_cookie_measurements(
+        self,
+        vp: str,
+        domains: Iterable[str],
+        *,
+        mode: str = "accept",
+        repeats: int = 5,
+    ) -> CrawlPlan:
+        """Compile repeated accept/reject cookie measurements."""
+        if mode not in ("accept", "reject"):
+            raise ValueError(f"unsupported cookie-measurement mode {mode!r}")
+        return CrawlPlan(tasks=[
+            CrawlTask(vp=vp, domain=domain, mode=mode, repeats=repeats)
+            for domain in domains
+        ])
+
+    def plan_subscription_measurements(
+        self,
+        vp: str,
+        domains: Iterable[str],
+        platform: str,
+        email: str,
+        password: str,
+        *,
+        repeats: int = 5,
+    ) -> CrawlPlan:
+        """Compile logged-in SMP subscriber measurements.
+
+        *platform* is the platform name (a ``world.platforms`` key); the
+        credentials travel in the plan context so the plan stays pure
+        serialisable data.
+        """
+        return CrawlPlan(
+            tasks=[
+                CrawlTask(vp=vp, domain=domain, mode="subscription",
+                          repeats=repeats)
+                for domain in domains
+            ],
+            context={
+                "platform": platform, "email": email, "password": password,
+            },
+        )
+
+    def plan_ublock(
+        self,
+        vp: str,
+        domains: Iterable[str],
+        *,
+        iterations: int = 5,
+    ) -> CrawlPlan:
+        """Compile the §4.5 uBlock bypass measurement."""
+        return CrawlPlan(tasks=[
+            CrawlTask(vp=vp, domain=domain, mode="ublock", repeats=iterations)
+            for domain in domains
+        ])
+
+    def run_task(
+        self,
+        task: CrawlTask,
+        context: Optional[Dict] = None,
+        *,
+        visit_ids=None,
+    ):
+        """Execute one engine task; the engine's dispatch point.
+
+        *visit_ids* is an optional per-task visit-id allocator the
+        engine supplies in parallel mode (see the engine docstring).
+        """
+        if task.mode == "detect":
+            return self.visit(task.vp, task.domain, visit_ids=visit_ids)
+        if task.mode == "accept":
+            return self.measure_accept_cookies(
+                task.vp, task.domain, repeats=task.repeats,
+                visit_ids=visit_ids,
             )
-        return result
+        if task.mode == "reject":
+            return self.measure_reject_cookies(
+                task.vp, task.domain, repeats=task.repeats,
+                visit_ids=visit_ids,
+            )
+        if task.mode == "subscription":
+            context = context or {}
+            platform = self.world.platforms[str(context["platform"])]
+            return self.measure_subscription_cookies(
+                task.vp, task.domain, platform,
+                str(context["email"]), str(context["password"]),
+                repeats=task.repeats, visit_ids=visit_ids,
+            )
+        if task.mode == "ublock":
+            return self.measure_ublock(
+                task.vp, task.domain, iterations=task.repeats,
+                visit_ids=visit_ids,
+            )
+        raise ValueError(f"unknown task mode {task.mode!r}")
 
     # ------------------------------------------------------------------
     # Cookie measurements (§4.3, Figure 4; §4.4, Figure 5)
     # ------------------------------------------------------------------
     def measure_accept_cookies(
-        self, vp: str, domain: str, *, repeats: int = 5
+        self, vp: str, domain: str, *, repeats: int = 5, visit_ids=None
     ) -> CookieMeasurement:
         """Visit, accept the banner, reload, count cookies; repeat."""
         measurement = CookieMeasurement(vp=vp, domain=domain, mode="accept")
         counts: List[CookieCounts] = []
         for _ in range(repeats):
             jar = CookieJar()
-            browser = self.world.browser(vp, jar=jar)
+            browser = self.world.browser(vp, jar=jar, visit_ids=visit_ids)
             try:
                 page = browser.visit(domain)
                 detection = self.bannerclick.detect(page)
@@ -172,7 +322,7 @@ class Crawler:
         return measurement
 
     def measure_reject_cookies(
-        self, vp: str, domain: str, *, repeats: int = 5
+        self, vp: str, domain: str, *, repeats: int = 5, visit_ids=None
     ) -> CookieMeasurement:
         """Visit, click reject (where offered), reload, count cookies.
 
@@ -183,7 +333,7 @@ class Crawler:
         counts: List[CookieCounts] = []
         for _ in range(repeats):
             jar = CookieJar()
-            browser = self.world.browser(vp, jar=jar)
+            browser = self.world.browser(vp, jar=jar, visit_ids=visit_ids)
             try:
                 page = browser.visit(domain)
                 detection = self.bannerclick.detect(page)
@@ -212,13 +362,14 @@ class Crawler:
         password: str,
         *,
         repeats: int = 5,
+        visit_ids=None,
     ) -> CookieMeasurement:
         """Visit as a logged-in subscriber; count newly set cookies."""
         measurement = CookieMeasurement(vp=vp, domain=domain, mode="subscription")
         counts: List[CookieCounts] = []
         for _ in range(repeats):
             jar = CookieJar()
-            browser = self.world.browser(vp, jar=jar)
+            browser = self.world.browser(vp, jar=jar, visit_ids=visit_ids)
             try:
                 login = browser.visit(
                     f"https://{platform.domain}/login"
@@ -247,16 +398,19 @@ class Crawler:
     # uBlock bypass measurement (§4.5)
     # ------------------------------------------------------------------
     def measure_ublock(
-        self, vp: str, domain: str, *, iterations: int = 5
+        self, vp: str, domain: str, *, iterations: int = 5, visit_ids=None
     ) -> UBlockRecord:
         """Visit with uBlock (Annoyances enabled); check wall and page."""
         record = UBlockRecord(domain=domain, iterations=iterations)
         for _ in range(iterations):
             ublock = UBlockOrigin(annoyances=True)
-            browser = self.world.browser(vp, extensions=[ublock])
+            browser = self.world.browser(
+                vp, extensions=[ublock], visit_ids=visit_ids
+            )
             try:
                 page = browser.visit(domain)
             except (NavigationError, NetworkError):
+                record.errors += 1
                 continue
             detection = self.bannerclick.detect(page)
             if detection.is_cookiewall:
@@ -267,5 +421,10 @@ class Crawler:
             elif page.scroll_locked and not detection.is_cookiewall:
                 record.broken = True
                 record.broken_reason = "page not scrollable"
-        record.suppressed = record.wall_seen_count == 0
+        # "Suppressed" requires evidence: at least one visit must have
+        # succeeded, otherwise an unreachable site would masquerade as a
+        # successful uBlock bypass.
+        record.suppressed = (
+            record.wall_seen_count == 0 and record.errors < iterations
+        )
         return record

@@ -1,0 +1,463 @@
+"""The sharded crawl engine: plan → shard → execute → merge.
+
+The paper's workload — an 8-vantage-point detection crawl over ~45k
+sites plus thousands of repeated cookie measurements — is embarrassingly
+parallel, but the original harness ran every visit in one serial Python
+loop.  This module turns that loop into an explicit subsystem:
+
+1. **Plan.**  A measurement batch is compiled into a
+   :class:`CrawlPlan`: an ordered list of :class:`CrawlTask` values
+   (``vp``, ``domain``, ``mode``, ``repeats``).  Plans are pure data —
+   they can be inspected, counted, and (via ``context``) carry
+   serialisable per-plan configuration such as SMP credentials.
+   :class:`~repro.measure.crawl.Crawler` provides the compilers
+   (``plan_detection_crawl``, ``plan_cookie_measurements``,
+   ``plan_subscription_measurements``, ``plan_ublock``).
+
+2. **Shard.**  Tasks are partitioned into N shards by a *stable* hash
+   of the task domain (CRC-32, not the per-process-salted ``hash()``),
+   so the same plan always shards the same way on every machine and
+   run.  Within a shard, tasks keep plan order.
+
+3. **Execute.**  A pluggable executor runs the shards:
+   :class:`SerialExecutor` walks them in shard order on the calling
+   thread; :class:`ParallelExecutor` dispatches one shard at a time to
+   a ``ThreadPoolExecutor`` with ``workers`` threads.  Threads suit
+   this workload because real crawls are network-bound — the netsim
+   mirrors that via ``Network.latency`` — and every task builds its own
+   browser and cookie jar, so no mutable state is shared.  Each task
+   runs under a :class:`RetryPolicy` (transient ``NetworkError``-family
+   failures are retried, then recorded as a failed
+   :class:`TaskOutcome` rather than aborting the crawl).
+
+4. **Merge.**  Outcomes are re-assembled in **plan order** (their
+   canonical order) regardless of which worker finished first.  With a
+   ``spool_path``, shard output is additionally appended to a
+   ``<path>.partial`` JSONL file as shards finish — crash durability
+   and live inspection, not a memory saving: the merge still holds
+   every outcome — and on success the final file is written in
+   canonical order and the partial removed, so an interrupted run
+   never clobbers a previous complete output.
+
+Determinism
+-----------
+For a fixed world seed the merged detection-crawl records are
+*identical* — not merely equivalent — for every ``workers``/``shards``
+combination: detection visits do not depend on the visit-id sequence,
+and the plan-order merge removes scheduling nondeterminism.
+
+Cookie and uBlock measurements additionally consume visit ids (the
+world keys ad rotation and first-party-count jitter on them), so the
+engine controls how ids are allocated:
+
+- **Serial** (``workers=1``, the default): browsers draw from the
+  network's shared monotonic counter in plan order — byte-for-byte the
+  pre-engine serial harness.
+- **Parallel** (``workers>1``): every task gets a private visit-id
+  stream derived from (world seed, vp, domain, mode, repeats), so the
+  records are a pure function of the world and the plan — identical
+  across reruns and across *any* parallel worker/shard combination,
+  never dependent on thread scheduling.  (Parallel values differ from
+  the serial stream's, since the ids differ; each regime is internally
+  deterministic.)
+
+Progress and throughput are emitted through the existing
+:mod:`repro.measure.instrumentation` event-log machinery (``plan``,
+``shard``, ``task-retry``, ``progress``, and ``throughput`` events), so
+an engine run can be recorded and inspected exactly like an
+instrumented browser session.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+import zlib
+from concurrent.futures import ThreadPoolExecutor as _PyThreadPool
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import NetworkError
+from repro.measure.instrumentation import Event, EventLog
+from repro.measure.storage import save_records
+from repro.rng import derive_seed
+
+#: Task modes the engine knows how to dispatch (see ``Crawler.run_task``).
+TASK_MODES = ("detect", "accept", "reject", "subscription", "ublock")
+
+#: ``progress(done, total, task)`` — invoked after every completed task.
+ProgressHook = Callable[[int, int, "CrawlTask"], None]
+
+
+@dataclass(frozen=True)
+class CrawlTask:
+    """One schedulable unit of measurement work."""
+
+    vp: str
+    domain: str
+    mode: str = "detect"
+    repeats: int = 1
+
+    def __post_init__(self) -> None:
+        if self.mode not in TASK_MODES:
+            raise ValueError(f"unknown task mode {self.mode!r}")
+
+
+def shard_of(domain: str, shards: int) -> int:
+    """The stable shard index for *domain* (CRC-32, not ``hash()``)."""
+    if shards <= 1:
+        return 0
+    return zlib.crc32(domain.encode("utf-8")) % shards
+
+
+@dataclass
+class CrawlPlan:
+    """An ordered batch of tasks plus per-plan configuration."""
+
+    tasks: List[CrawlTask] = field(default_factory=list)
+    #: Serialisable plan-wide settings (e.g. SMP platform credentials).
+    context: Dict[str, object] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+    def sharded(self, shards: int) -> List[List[Tuple[int, CrawlTask]]]:
+        """Partition into *shards* lists of ``(plan_index, task)``.
+
+        Hash-by-domain keeps every task for one domain in one shard;
+        within a shard, plan order is preserved.
+        """
+        buckets: List[List[Tuple[int, CrawlTask]]] = [
+            [] for _ in range(max(shards, 1))
+        ]
+        for index, task in enumerate(self.tasks):
+            buckets[shard_of(task.domain, max(shards, 1))].append((index, task))
+        return buckets
+
+
+@dataclass
+class TaskOutcome:
+    """What happened to one task: a record, or a permanent failure."""
+
+    index: int
+    task: CrawlTask
+    record: Optional[object] = None
+    error: Optional[str] = None
+    attempts: int = 1
+
+
+@dataclass
+class RetryPolicy:
+    """Per-task retry behaviour for transient failures.
+
+    ``retry_on`` handles exceptions escaping ``Crawler.run_task`` (the
+    stock crawler converts network failures into records instead of
+    raising, but subclasses and future transports may not).
+    ``retry_unreachable`` additionally re-runs detection visits that
+    came back ``reachable=False``; it defaults to off because the
+    paper's methodology counts unreachable sites (and a retry consumes
+    extra visit ids from the serial stream).
+    """
+
+    max_attempts: int = 2
+    retry_on: Tuple[type, ...] = (NetworkError,)
+    retry_unreachable: bool = False
+
+
+@dataclass
+class EngineResult:
+    """Merged outcomes of one engine run, in canonical (plan) order."""
+
+    outcomes: List[TaskOutcome] = field(default_factory=list)
+    elapsed: float = 0.0
+
+    @property
+    def records(self) -> List[object]:
+        """The produced records, plan-ordered, skipping failed tasks."""
+        return [o.record for o in self.outcomes if o.record is not None]
+
+    @property
+    def failures(self) -> List[TaskOutcome]:
+        return [o for o in self.outcomes if o.error is not None]
+
+    @property
+    def tasks_per_sec(self) -> float:
+        if self.elapsed <= 0.0:
+            return 0.0
+        return len(self.outcomes) / self.elapsed
+
+    def __len__(self) -> int:
+        return len(self.outcomes)
+
+
+class Executor:
+    """Strategy interface: run sharded tasks, return unordered outcomes."""
+
+    def run(
+        self,
+        sharded: List[List[Tuple[int, CrawlTask]]],
+        run_shard: Callable[[int, List[Tuple[int, CrawlTask]]], List[TaskOutcome]],
+    ) -> List[TaskOutcome]:
+        raise NotImplementedError
+
+
+class SerialExecutor(Executor):
+    """Runs shards one after another on the calling thread."""
+
+    def run(self, sharded, run_shard):
+        outcomes: List[TaskOutcome] = []
+        for shard_id, items in enumerate(sharded):
+            if items:
+                outcomes.extend(run_shard(shard_id, items))
+        return outcomes
+
+
+class ParallelExecutor(Executor):
+    """Runs shards concurrently on a thread pool of *workers* threads."""
+
+    def __init__(self, workers: int) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+
+    def run(self, sharded, run_shard):
+        outcomes: List[TaskOutcome] = []
+        with _PyThreadPool(max_workers=self.workers) as pool:
+            futures = [
+                pool.submit(run_shard, shard_id, items)
+                for shard_id, items in enumerate(sharded)
+                if items
+            ]
+            for future in futures:
+                outcomes.extend(future.result())
+        return outcomes
+
+
+class CrawlEngine:
+    """Compiles nothing, schedules everything: executes a
+    :class:`CrawlPlan` through an executor and merges the outcomes.
+
+    Parameters
+    ----------
+    crawler:
+        The :class:`~repro.measure.crawl.Crawler` whose ``run_task``
+        performs one task.
+    workers:
+        ``1`` (default) selects :class:`SerialExecutor`; ``>1`` a
+        :class:`ParallelExecutor` with that many threads.
+    shards:
+        Shard count; defaults to ``1`` when serial and ``4 × workers``
+        when parallel.  A shard is the unit of concurrency (tasks
+        within it run serially), so effective parallelism is
+        ``min(workers, shards)``.  The merged result is independent of
+        it for detection crawls (see module docstring).
+    retry:
+        :class:`RetryPolicy` for transient failures.
+    event_log:
+        An :class:`~repro.measure.instrumentation.EventLog` receiving
+        ``plan`` / ``shard`` / ``task-retry`` / ``progress`` /
+        ``throughput`` events.
+    progress:
+        ``progress(done, total, task)`` called after every completed
+        task (serialised under the engine lock).
+    spool_path:
+        When set, each finished shard's records are appended to
+        ``<spool_path>.partial`` as the crawl runs (a crash leaves the
+        completed shards there and the previous complete output
+        untouched); on success the final file is written to
+        *spool_path* in canonical plan order — identical runs produce
+        byte-identical files.  This is crash durability, not a memory
+        saving: the merged result is still assembled in memory.
+    """
+
+    def __init__(
+        self,
+        crawler,
+        *,
+        workers: int = 1,
+        shards: Optional[int] = None,
+        retry: Optional[RetryPolicy] = None,
+        event_log: Optional[EventLog] = None,
+        progress: Optional[ProgressHook] = None,
+        progress_every: int = 1000,
+        spool_path=None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.crawler = crawler
+        self.workers = workers
+        self.shards = shards if shards is not None else (
+            1 if workers == 1 else workers * 4
+        )
+        if self.shards < 1:
+            raise ValueError("shards must be >= 1")
+        self.retry = retry or RetryPolicy()
+        self.event_log = event_log
+        self.progress = progress
+        self.progress_every = max(progress_every, 1)
+        self.spool_path = spool_path
+        self._spool_partial: Optional[Path] = None
+        self._lock = threading.Lock()
+        #: Separate lock for the caller's progress hook, so a slow (or
+        #: engine-reentrant) hook can never stall spool writes or
+        #: deadlock against the engine's own lock.
+        self._progress_lock = threading.Lock()
+        self._done = 0
+        self._total = 0
+
+    # ------------------------------------------------------------------
+    def execute(self, plan: CrawlPlan) -> EngineResult:
+        """Run *plan* and return the plan-ordered merged result."""
+        sharded = plan.sharded(self.shards)
+        self._done = 0
+        self._total = len(plan)
+        self._spool_partial = None
+        if self.spool_path is not None:
+            self._spool_partial = Path(f"{self.spool_path}.partial")
+            save_records([], self._spool_partial)
+        self._emit("plan", "engine://plan", {
+            "tasks": len(plan),
+            "shards": self.shards,
+            "workers": self.workers,
+        })
+        # Each shard is one unit of concurrency, so threads beyond the
+        # shard count would only idle.
+        executor: Executor = (
+            SerialExecutor() if self.workers == 1
+            else ParallelExecutor(min(self.workers, self.shards))
+        )
+        started = time.perf_counter()
+        outcomes = executor.run(sharded, lambda sid, items: self._run_shard(
+            plan, sid, items
+        ))
+        elapsed = time.perf_counter() - started
+        outcomes.sort(key=lambda outcome: outcome.index)
+        result = EngineResult(outcomes=outcomes, elapsed=elapsed)
+        if self.spool_path is not None:
+            # Shards appended to the .partial file in completion order
+            # (a crash leaves them there, and the previous complete
+            # output untouched); success writes the canonical file and
+            # drops the partial.
+            save_records(result.records, self.spool_path)
+            if self._spool_partial is not None:
+                self._spool_partial.unlink(missing_ok=True)
+        self._emit("throughput", "engine://throughput", {
+            "tasks": len(outcomes),
+            "elapsed": elapsed,
+            "tasks_per_sec": result.tasks_per_sec,
+        })
+        return result
+
+    # ------------------------------------------------------------------
+    def _run_shard(
+        self,
+        plan: CrawlPlan,
+        shard_id: int,
+        items: List[Tuple[int, CrawlTask]],
+    ) -> List[TaskOutcome]:
+        started = time.perf_counter()
+        outcomes = [self._run_one(plan, index, task) for index, task in items]
+        if self._spool_partial is not None and outcomes:
+            records = [o.record for o in outcomes if o.record is not None]
+            with self._lock:
+                save_records(records, self._spool_partial, append=True)
+        self._emit("shard", f"engine://shard/{shard_id}", {
+            "shard": shard_id,
+            "tasks": len(items),
+            "elapsed": time.perf_counter() - started,
+        })
+        return outcomes
+
+    def _run_one(self, plan: CrawlPlan, index: int, task: CrawlTask) -> TaskOutcome:
+        attempts = 0
+        visit_ids = self._task_id_stream(task) if self.workers > 1 else None
+        while True:
+            attempts += 1
+            try:
+                record = self.crawler.run_task(
+                    task, plan.context, visit_ids=visit_ids
+                )
+            except self.retry.retry_on as exc:
+                if attempts >= self.retry.max_attempts:
+                    outcome = TaskOutcome(
+                        index, task,
+                        error=type(exc).__name__, attempts=attempts,
+                    )
+                    break
+                self._emit_retry(index, task, attempts, type(exc).__name__)
+            else:
+                if (
+                    self.retry.retry_unreachable
+                    and task.mode == "detect"
+                    and getattr(record, "reachable", True) is False
+                    and attempts < self.retry.max_attempts
+                ):
+                    self._emit_retry(
+                        index, task, attempts,
+                        getattr(record, "error", None) or "unreachable",
+                    )
+                    continue
+                outcome = TaskOutcome(
+                    index, task, record=record, attempts=attempts
+                )
+                break
+        self._advance(task)
+        return outcome
+
+    def _emit_retry(
+        self, index: int, task: CrawlTask, attempt: int, error: str
+    ) -> None:
+        self._emit("task-retry", f"engine://task/{index}", {
+            "vp": task.vp,
+            "domain": task.domain,
+            "mode": task.mode,
+            "attempt": attempt,
+            "error": error,
+        })
+
+    def _task_id_stream(self, task: CrawlTask) -> Optional[Callable[[], int]]:
+        """A private, deterministic visit-id stream for *task*.
+
+        Derived purely from the world seed and the task identity, so
+        parallel measurement results never depend on which thread ran
+        which task first (see the module docstring).
+        """
+        world = getattr(self.crawler, "world", None)
+        config = getattr(world, "config", None)
+        if config is None:
+            return None
+        base = derive_seed(
+            config.seed, "engine-task-visits",
+            task.vp, task.domain, task.mode, task.repeats,
+        )
+        counter = itertools.count()
+        return lambda: derive_seed(base, next(counter))
+
+    def _advance(self, task: CrawlTask) -> None:
+        with self._lock:
+            self._done += 1
+            done, total = self._done, self._total
+            if done % self.progress_every == 0 or done == total:
+                self._emit_locked("progress", "engine://progress", {
+                    "done": done, "total": total,
+                })
+        if self.progress is not None:
+            # Hook calls are serialised (so wrapper closures need no
+            # locking of their own) but run outside the engine lock;
+            # under parallel execution consecutive calls may observe
+            # `done` snapshots out of order.
+            with self._progress_lock:
+                self.progress(done, total, task)
+
+    # ------------------------------------------------------------------
+    def _emit(self, kind: str, url: str, detail: Dict[str, object]) -> None:
+        if self.event_log is None:
+            return
+        with self._lock:
+            self._emit_locked(kind, url, detail)
+
+    def _emit_locked(self, kind: str, url: str, detail: Dict[str, object]) -> None:
+        if self.event_log is not None:
+            self.event_log.events.append(Event(kind, 0, url, detail))

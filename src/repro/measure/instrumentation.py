@@ -24,6 +24,13 @@ EVENT_KINDS = (
     "blocked",
     "failed",
     "set-cookie",
+    # Crawl-engine events (repro.measure.engine): scheduling, progress
+    # and throughput share the same log as the browser instruments.
+    "plan",
+    "shard",
+    "task-retry",
+    "progress",
+    "throughput",
 )
 
 

@@ -63,7 +63,8 @@ class UBlockRecord:
     domain: str
     iterations: int = 0
     wall_seen_count: int = 0
-    suppressed: bool = False      # wall never displayed
+    errors: int = 0               # visits that failed to load at all
+    suppressed: bool = False      # wall never displayed (≥1 visit loaded)
     broken: bool = False          # anti-adblock prompt / unscrollable
     broken_reason: str = ""
 

@@ -1,10 +1,15 @@
-"""Record persistence: JSON-lines files (the released-data format)."""
+"""Record persistence: JSON-lines files (the released-data format).
+
+Large crawls stream: :func:`save_records` can append shard output as it
+arrives (``append=True``) and :func:`iter_records` yields records one
+line at a time, so neither side ever materialises the full list.
+"""
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Iterable, List, Type, Union
+from typing import Iterable, Iterator, List, Union
 
 from repro.measure.records import CookieMeasurement, UBlockRecord, VisitRecord
 
@@ -15,12 +20,19 @@ _RECORD_TYPES = {
 }
 
 
-def save_records(records: Iterable, path: Union[str, Path]) -> int:
-    """Write records as JSON lines; returns the number written."""
+def save_records(
+    records: Iterable, path: Union[str, Path], *, append: bool = False
+) -> int:
+    """Write records as JSON lines; returns the number written.
+
+    With ``append=True`` the records are appended to an existing file
+    (creating it when missing) — the streaming mode the crawl engine
+    uses to spill each shard's output as it finishes.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     count = 0
-    with path.open("w", encoding="utf-8") as handle:
+    with path.open("a" if append else "w", encoding="utf-8") as handle:
         for record in records:
             payload = {
                 "type": type(record).__name__,
@@ -31,10 +43,9 @@ def save_records(records: Iterable, path: Union[str, Path]) -> int:
     return count
 
 
-def load_records(path: Union[str, Path]) -> List:
-    """Read records back; the inverse of :func:`save_records`."""
+def iter_records(path: Union[str, Path]) -> Iterator:
+    """Yield records from *path* one at a time (streaming reader)."""
     path = Path(path)
-    out: List = []
     with path.open("r", encoding="utf-8") as handle:
         for line_number, line in enumerate(handle, start=1):
             line = line.strip()
@@ -47,5 +58,9 @@ def load_records(path: Union[str, Path]) -> List:
                 raise ValueError(
                     f"{path}:{line_number}: unknown record type {type_name!r}"
                 )
-            out.append(record_cls.from_dict(payload["data"]))
-    return out
+            yield record_cls.from_dict(payload["data"])
+
+
+def load_records(path: Union[str, Path]) -> List:
+    """Read records back; the inverse of :func:`save_records`."""
+    return list(iter_records(path))

@@ -3,6 +3,8 @@
 from __future__ import annotations
 
 import itertools
+import threading
+import time
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
@@ -41,7 +43,16 @@ class Network:
         self._unreachable: set = set()
         self._visit_counter = itertools.count(1)
         #: Total number of requests served (for stats/benchmarks).
+        #: Updated under a lock: parallel crawl-engine workers fetch
+        #: concurrently and a bare ``+=`` would lose increments.
         self.request_count = 0
+        self._stats_lock = threading.Lock()
+        #: Simulated per-request network round-trip time in seconds.
+        #: Zero (the default) keeps the simulation purely compute-bound;
+        #: benchmarks set it to model the network-bound regime of real
+        #: crawls, where the parallel crawl engine's thread workers
+        #: overlap the waiting.
+        self.latency = 0.0
 
     # ------------------------------------------------------------------
     # Registration
@@ -89,6 +100,9 @@ class Network:
 
     def fetch(self, request: Request, visitor: VisitorContext) -> Response:
         """Route *request* to its origin server and return the response."""
+        if self.latency > 0.0:
+            time.sleep(self.latency)
         server = self.resolve(request.url.host)
-        self.request_count += 1
+        with self._stats_lock:
+            self.request_count += 1
         return server.handle(request, visitor)

@@ -11,7 +11,7 @@ from __future__ import annotations
 import itertools
 import random
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from repro import thirdparty
 from repro.blocklists import JustDomainsList, builtin_list
@@ -78,12 +78,13 @@ class World:
         instruments: Sequence = (),
         jar: Optional[CookieJar] = None,
         stealth: bool = True,
+        visit_ids: Optional[Callable[[], int]] = None,
     ) -> Browser:
         """A fresh measurement browser located at a vantage point."""
         vp = VANTAGE_POINTS[vp_code]
         return Browser(
             self.network, vp, jar=jar, extensions=extensions,
-            instruments=instruments, stealth=stealth,
+            instruments=instruments, stealth=stealth, visit_ids=visit_ids,
         )
 
     def spec(self, domain: str) -> SiteSpec:

@@ -58,6 +58,54 @@ class TestCrawlAndReport:
         assert "DE:" in report_out
         assert "unique cookiewall domains:" in report_out
 
+    def test_parallel_crawl_matches_serial(self, tmp_path, capsys):
+        serial_file = tmp_path / "serial.jsonl"
+        parallel_file = tmp_path / "parallel.jsonl"
+        assert main(
+            ["crawl", "--scale", "0.01", "--seed", "3",
+             "--vp", "DE", "--out", str(serial_file)]
+        ) == 0
+        assert main(
+            ["crawl", "--scale", "0.01", "--seed", "3", "--vp", "DE",
+             "--workers", "4", "--shards", "8", "--out", str(parallel_file)]
+        ) == 0
+        assert serial_file.read_text() == parallel_file.read_text()
+
+
+class TestMeasure:
+    def test_measure_streams_records(self, tmp_path, capsys):
+        from repro.measure import iter_records
+        from repro.measure.records import CookieMeasurement
+
+        out_file = tmp_path / "cookies.jsonl"
+        assert main(
+            ["measure", "--scale", "0.01", "--seed", "3", "--vp", "DE",
+             "--mode", "accept", "--repeats", "2",
+             "--workers", "2", "--shards", "4", "--out", str(out_file)]
+        ) == 0
+        assert "wrote" in capsys.readouterr().out
+        records = list(iter_records(out_file))
+        assert records
+        assert all(isinstance(r, CookieMeasurement) for r in records)
+        assert all(r.mode == "accept" for r in records)
+
+    def test_measure_ublock_explicit_domains(self, tmp_path, capsys):
+        from repro.measure import iter_records
+        from repro.measure.records import UBlockRecord
+        from repro.webgen import build_world
+
+        world = build_world(scale=0.01, seed=3)
+        domain = sorted(world.wall_domains)[0]
+        out_file = tmp_path / "ublock.jsonl"
+        assert main(
+            ["measure", "--scale", "0.01", "--seed", "3",
+             "--mode", "ublock", "--repeats", "2",
+             "--domain", domain, "--out", str(out_file)]
+        ) == 0
+        (record,) = list(iter_records(out_file))
+        assert isinstance(record, UBlockRecord)
+        assert record.domain == domain
+
 
 class TestExportToplists:
     def test_export(self, tmp_path, capsys):

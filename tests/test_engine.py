@@ -1,0 +1,370 @@
+"""Tests for the sharded crawl engine (plan → shard → execute → merge)."""
+
+import random
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.experiments import ExperimentContext
+from repro.measure import (
+    Crawler,
+    CrawlEngine,
+    CrawlPlan,
+    CrawlTask,
+    RetryPolicy,
+    iter_records,
+)
+from repro.measure.crawl import CrawlResult
+from repro.measure.engine import shard_of
+from repro.measure.instrumentation import EventLog
+from repro.webgen import build_world
+
+
+class TestPlanCompilation:
+    def test_detection_plan_is_vp_major(self, medium_world, medium_crawler):
+        targets = medium_world.crawl_targets[:3]
+        plan = medium_crawler.plan_detection_crawl(["DE", "USE"], targets)
+        assert len(plan) == 6
+        assert [t.vp for t in plan.tasks] == ["DE"] * 3 + ["USE"] * 3
+        assert all(t.mode == "detect" for t in plan.tasks)
+
+    def test_cookie_plan_modes(self, medium_crawler):
+        plan = medium_crawler.plan_cookie_measurements(
+            "DE", ["a.de", "b.de"], mode="reject", repeats=3
+        )
+        assert [(t.mode, t.repeats) for t in plan.tasks] == [("reject", 3)] * 2
+        with pytest.raises(ValueError):
+            medium_crawler.plan_cookie_measurements("DE", [], mode="ublock")
+
+    def test_subscription_plan_carries_context(self, medium_crawler):
+        plan = medium_crawler.plan_subscription_measurements(
+            "DE", ["a.de"], "contentpass", "e@x.de", "pw", repeats=2
+        )
+        assert plan.context["platform"] == "contentpass"
+        assert plan.tasks[0].mode == "subscription"
+
+    def test_unknown_task_mode_rejected(self):
+        with pytest.raises(ValueError):
+            CrawlTask(vp="DE", domain="a.de", mode="teleport")
+
+
+class TestSharding:
+    def test_shard_assignment_is_stable_and_bounded(self):
+        for domain in ("example.de", "news.com", "blog.se"):
+            first = shard_of(domain, 8)
+            assert 0 <= first < 8
+            assert all(shard_of(domain, 8) == first for _ in range(3))
+
+    def test_all_vps_of_a_domain_share_a_shard(self, medium_crawler):
+        targets = ["one.de", "two.com", "three.se"]
+        plan = medium_crawler.plan_detection_crawl(["DE", "SE", "USE"], targets)
+        for shard in plan.sharded(4):
+            domains = {task.domain for _, task in shard}
+            vps = [task.vp for _, task in shard]
+            assert len(vps) == 3 * len(domains)
+
+    def test_sharded_preserves_plan_indices(self, medium_crawler):
+        plan = medium_crawler.plan_detection_crawl(["DE"], ["a.de", "b.de", "c.de"])
+        seen = sorted(
+            index for shard in plan.sharded(8) for index, _ in shard
+        )
+        assert seen == [0, 1, 2]
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("workers,shards", [(4, None), (1, 8), (4, 8)])
+    def test_crawl_all_identical_across_configs(
+        self, medium_world, medium_crawler, workers, shards
+    ):
+        targets = medium_world.crawl_targets[:150]
+        vps = ["DE", "SE"]
+        baseline = [
+            r.to_dict()
+            for r in medium_crawler.crawl_all(vps, targets, workers=1).records
+        ]
+        got = [
+            r.to_dict()
+            for r in medium_crawler.crawl_all(
+                vps, targets, workers=workers, shards=shards
+            ).records
+        ]
+        assert got == baseline
+
+    def test_parallel_measurements_reproducible(self, medium_world, medium_crawler):
+        """Parallel cookie measurements are a pure function of the
+        world and the plan — identical across reruns and across
+        different parallel worker/shard configurations (each task gets
+        a private visit-id stream derived from the world seed)."""
+        domains = sorted(medium_world.wall_domains)[:4]
+        plan = medium_crawler.plan_cookie_measurements(
+            "DE", domains, mode="accept", repeats=2
+        )
+        runs = []
+        for workers, shards in [(4, 8), (4, 8), (2, 3)]:
+            engine = CrawlEngine(
+                medium_crawler, workers=workers, shards=shards
+            )
+            runs.append([m.to_dict() for m in engine.execute(plan).records])
+        assert runs[0] == runs[1] == runs[2]
+
+    def test_context_products_match_pre_refactor_serial_path(self):
+        """The engine-routed ExperimentContext reproduces the old ad-hoc
+        loops byte-for-byte (same visit-id stream, same records)."""
+        vps = ["DE", "USE"]
+        repeats = 2
+
+        # Reference: the pre-engine serial harness, hand-rolled.
+        ref_world = build_world(scale=0.02, seed=7)
+        ref_crawler = Crawler(ref_world)
+        ref_records = []
+        for vp in vps:
+            for domain in ref_world.crawl_targets:
+                ref_records.append(ref_crawler.visit(vp, domain))
+        ref_crawl = CrawlResult(records=ref_records)
+        walls = [
+            d for d in ref_crawl.cookiewall_domains()
+            if d in ref_world.wall_domains
+        ]
+        ref_wall_ms = [
+            ref_crawler.measure_accept_cookies("DE", d, repeats=repeats)
+            for d in walls
+        ]
+        pool = ref_crawl.regular_banner_domains("DE")
+        rng = random.Random(1234)
+        sample = rng.sample(pool, min(len(walls), len(pool)))
+        ref_regular_ms = [
+            ref_crawler.measure_accept_cookies("DE", d, repeats=repeats)
+            for d in sample
+        ]
+        ref_ublock = [
+            ref_crawler.measure_ublock("DE", d, iterations=repeats)
+            for d in walls
+        ]
+
+        # Engine path: a fresh identical world through ExperimentContext.
+        ctx = ExperimentContext(
+            build_world(scale=0.02, seed=7), repeats=repeats, vps=vps
+        )
+        assert [r.to_dict() for r in ctx.detection_crawl().records] == [
+            r.to_dict() for r in ref_records
+        ]
+        assert [m.to_dict() for m in ctx.wall_measurements()] == [
+            m.to_dict() for m in ref_wall_ms
+        ]
+        assert [m.to_dict() for m in ctx.regular_measurements()] == [
+            m.to_dict() for m in ref_regular_ms
+        ]
+        assert [r.to_dict() for r in ctx.ublock_records()] == [
+            r.to_dict() for r in ref_ublock
+        ]
+
+
+class TestRetryPolicy:
+    class FlakyCrawler(Crawler):
+        def __init__(self, world, fail_times):
+            super().__init__(world)
+            self.fail_times = fail_times
+            self.calls = {}
+
+        def run_task(self, task, context=None, *, visit_ids=None):
+            seen = self.calls.get(task.domain, 0)
+            self.calls[task.domain] = seen + 1
+            if seen < self.fail_times:
+                raise NetworkError("flaky backbone")
+            return super().run_task(task, context, visit_ids=visit_ids)
+
+    def test_transient_failure_retried(self, medium_world):
+        crawler = self.FlakyCrawler(medium_world, fail_times=1)
+        log = EventLog()
+        engine = CrawlEngine(
+            crawler, retry=RetryPolicy(max_attempts=3), event_log=log
+        )
+        plan = crawler.plan_detection_crawl(
+            ["DE"], medium_world.crawl_targets[:2]
+        )
+        result = engine.execute(plan)
+        assert not result.failures
+        assert all(o.attempts == 2 for o in result.outcomes)
+        assert len(log.by_kind("task-retry")) == 2
+
+    def test_exhausted_retries_recorded_not_raised(self, medium_world):
+        crawler = self.FlakyCrawler(medium_world, fail_times=10)
+        engine = CrawlEngine(crawler, retry=RetryPolicy(max_attempts=2))
+        plan = crawler.plan_detection_crawl(
+            ["DE"], medium_world.crawl_targets[:2]
+        )
+        result = engine.execute(plan)
+        assert len(result.failures) == 2
+        assert all(o.error == "NetworkError" for o in result.failures)
+        assert result.records == []
+
+    def test_retry_unreachable_detection_visits(self, medium_world):
+        dead = next(
+            d for d, s in medium_world.sites.items() if not s.reachable
+        )
+        crawler = Crawler(medium_world)
+        log = EventLog()
+        engine = CrawlEngine(
+            crawler,
+            retry=RetryPolicy(max_attempts=3, retry_unreachable=True),
+            event_log=log,
+        )
+        result = engine.execute(crawler.plan_detection_crawl(["DE"], [dead]))
+        (outcome,) = result.outcomes
+        # Permanently dead site: retried to exhaustion, record kept.
+        assert outcome.attempts == 3
+        assert outcome.record is not None and not outcome.record.reachable
+        assert len(log.by_kind("task-retry")) == 2
+
+    def test_unreachable_not_retried_by_default(self, medium_world, medium_crawler):
+        dead = next(
+            d for d, s in medium_world.sites.items() if not s.reachable
+        )
+        engine = CrawlEngine(medium_crawler)
+        result = engine.execute(
+            medium_crawler.plan_detection_crawl(["DE"], [dead])
+        )
+        assert result.outcomes[0].attempts == 1
+
+
+class TestEngineEvents:
+    def test_event_stream(self, medium_world, medium_crawler):
+        log = EventLog()
+        engine = CrawlEngine(
+            medium_crawler, workers=2, shards=4, event_log=log,
+            progress_every=10,
+        )
+        plan = medium_crawler.plan_detection_crawl(
+            ["DE"], medium_world.crawl_targets[:30]
+        )
+        engine.execute(plan)
+        (plan_event,) = log.by_kind("plan")
+        assert plan_event.detail == {"tasks": 30, "shards": 4, "workers": 2}
+        occupied = sum(1 for shard in plan.sharded(4) if shard)
+        assert len(log.by_kind("shard")) == occupied
+        progress = log.by_kind("progress")
+        assert progress[-1].detail == {"done": 30, "total": 30}
+        (throughput,) = log.by_kind("throughput")
+        assert throughput.detail["tasks"] == 30
+        assert throughput.detail["tasks_per_sec"] > 0
+
+
+class TestSpool:
+    def test_spool_finalised_in_plan_order(self, tmp_path, medium_world, medium_crawler):
+        spool = tmp_path / "spool" / "records.jsonl"
+        engine = CrawlEngine(
+            medium_crawler, workers=2, shards=4, spool_path=spool
+        )
+        targets = medium_world.crawl_targets[:40]
+        plan = medium_crawler.plan_detection_crawl(["DE"], targets)
+        result = engine.execute(plan)
+        spooled = list(iter_records(spool))
+        assert len(spooled) == len(result.records) == 40
+        assert [r.to_dict() for r in spooled] == [
+            r.to_dict() for r in result.records
+        ]
+
+    def test_spool_byte_identical_across_runs(self, tmp_path, medium_world, medium_crawler):
+        targets = medium_world.crawl_targets[:30]
+        plan = medium_crawler.plan_detection_crawl(["DE"], targets)
+        paths = [tmp_path / "a.jsonl", tmp_path / "b.jsonl"]
+        for path in paths:
+            CrawlEngine(
+                medium_crawler, workers=4, shards=8, spool_path=path
+            ).execute(plan)
+        assert paths[0].read_bytes() == paths[1].read_bytes()
+
+    def test_spool_partial_removed_on_success(self, tmp_path, medium_world, medium_crawler):
+        spool = tmp_path / "out.jsonl"
+        engine = CrawlEngine(medium_crawler, spool_path=spool)
+        plan = medium_crawler.plan_detection_crawl(
+            ["DE"], medium_world.crawl_targets[:5]
+        )
+        engine.execute(plan)
+        assert spool.exists()
+        assert not (tmp_path / "out.jsonl.partial").exists()
+
+    def test_failed_run_preserves_previous_output(self, tmp_path, medium_world):
+        class ExplodingCrawler(Crawler):
+            def run_task(self, task, context=None, *, visit_ids=None):
+                raise RuntimeError("boom")
+
+        spool = tmp_path / "out.jsonl"
+        spool.write_text("previous complete output\n")
+        crawler = ExplodingCrawler(medium_world)
+        engine = CrawlEngine(crawler, spool_path=spool)
+        plan = crawler.plan_detection_crawl(
+            ["DE"], medium_world.crawl_targets[:2]
+        )
+        with pytest.raises(RuntimeError):
+            engine.execute(plan)
+        assert spool.read_text() == "previous complete output\n"
+
+    def test_spool_truncated_between_runs(self, tmp_path, medium_world, medium_crawler):
+        spool = tmp_path / "records.jsonl"
+        engine = CrawlEngine(medium_crawler, spool_path=spool)
+        plan = medium_crawler.plan_detection_crawl(
+            ["DE"], medium_world.crawl_targets[:5]
+        )
+        engine.execute(plan)
+        engine.execute(plan)
+        assert len(list(iter_records(spool))) == 5
+
+
+class TestProgressReporting:
+    def test_final_partial_batch_reports(self, medium_world, medium_crawler):
+        calls = []
+        medium_crawler.crawl_vp(
+            "DE", medium_world.crawl_targets[:37],
+            progress=lambda done, total: calls.append((done, total)),
+        )
+        # A short crawl used to never fire (only every 1000th site did).
+        assert calls == [(37, 37)]
+
+    def test_batches_and_final_report(self, monkeypatch, medium_world, medium_crawler):
+        import repro.measure.crawl as crawl_mod
+
+        monkeypatch.setattr(crawl_mod, "PROGRESS_BATCH", 10)
+        calls = []
+        medium_crawler.crawl_vp(
+            "DE", medium_world.crawl_targets[:25],
+            progress=lambda done, total: calls.append((done, total)),
+        )
+        assert calls == [(10, 25), (20, 25), (25, 25)]
+
+    def test_crawl_all_reports_per_vp(self, monkeypatch, medium_world, medium_crawler):
+        import repro.measure.crawl as crawl_mod
+
+        monkeypatch.setattr(crawl_mod, "PROGRESS_BATCH", 10)
+        calls = []
+        medium_crawler.crawl_all(
+            ["DE", "USE"], medium_world.crawl_targets[:15],
+            progress=lambda vp, done, total: calls.append((vp, done, total)),
+        )
+        assert calls == [
+            ("DE", 10, 15), ("DE", 15, 15), ("USE", 10, 15), ("USE", 15, 15),
+        ]
+
+
+class TestUBlockErrorTracking:
+    def test_unreachable_site_not_reported_suppressed(
+        self, medium_world, medium_crawler
+    ):
+        dead = next(
+            d for d, s in medium_world.sites.items() if not s.reachable
+        )
+        record = medium_crawler.measure_ublock("DE", dead, iterations=2)
+        assert record.errors == 2
+        assert record.wall_seen_count == 0
+        assert not record.suppressed
+
+    def test_reachable_smp_wall_still_suppressed(
+        self, medium_world, medium_crawler
+    ):
+        smp_wall = next(
+            d for d in sorted(medium_world.wall_domains)
+            if medium_world.sites[d].wall.serving == "smp"
+        )
+        record = medium_crawler.measure_ublock("DE", smp_wall, iterations=2)
+        assert record.errors == 0
+        assert record.suppressed

@@ -232,3 +232,33 @@ class TestStorage:
         path.write_text('{"type": "Mystery", "data": {}}\n')
         with pytest.raises(ValueError):
             load_records(path)
+
+    def test_append_mode_streams_shards(self, tmp_path):
+        path = tmp_path / "stream.jsonl"
+        save_records([VisitRecord(vp="DE", domain="a.de")], path)
+        save_records(
+            [VisitRecord(vp="DE", domain="b.de")], path, append=True
+        )
+        save_records(
+            [VisitRecord(vp="SE", domain="c.se")], path, append=True
+        )
+        assert [r.domain for r in load_records(path)] == [
+            "a.de", "b.de", "c.se",
+        ]
+
+    def test_append_creates_missing_file(self, tmp_path):
+        path = tmp_path / "fresh" / "records.jsonl"
+        save_records([VisitRecord(vp="DE", domain="a.de")], path, append=True)
+        assert len(load_records(path)) == 1
+
+    def test_iter_records_is_lazy(self, tmp_path):
+        from repro.measure import iter_records
+
+        path = tmp_path / "lazy.jsonl"
+        save_records(
+            [VisitRecord(vp="DE", domain=f"site{i}.de") for i in range(5)],
+            path,
+        )
+        iterator = iter_records(path)
+        assert next(iterator).domain == "site0.de"
+        assert sum(1 for _ in iterator) == 4
