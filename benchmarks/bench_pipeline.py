@@ -4,8 +4,8 @@ import time
 
 from conftest import BENCH_SCALE, BENCH_SEED, run_once, write_artifact
 
-from repro.bannerclick import BannerClick
 from repro.measure.crawl import Crawler
+from repro.measure.engine import CrawlEngine, FaultInjectingExecutor, shard_of
 from repro.webgen import build_world
 
 #: Simulated per-request RTT for the parallel-engine benchmark.  Real
@@ -92,3 +92,77 @@ def test_parallel_crawl_speedup(benchmark):
     # The 2x floor is this PR's acceptance criterion; the 2ms-latency
     # regime leaves ~1.7x of headroom over it on a single busy core.
     assert speedup >= 2.0
+
+
+def test_checkpoint_resume_speedup(benchmark, tmp_path):
+    """Crash at ~half the crawl, resume, and time the second leg.
+
+    A fault-injecting executor kills half the shards after the other
+    half checkpointed; the resumed run replays those outcomes instead
+    of re-crawling, so in the latency-bound regime the second leg
+    should take roughly half the uninterrupted run's time.  The
+    artifact tracks the replay fraction and the resume speedup.
+    """
+    world = build_world(scale=0.05, seed=BENCH_SEED)
+    world.network.latency = _BENCH_LATENCY
+    crawler = Crawler(world)
+    sample = world.crawl_targets[:_SAMPLE_SIZE]
+    plan = crawler.plan_detection_crawl(["DE"], sample)
+    shards = _PARALLEL_WORKERS * 2
+    victims = {s for s in range(shards) if s % 2}
+    out = tmp_path / "crawl.jsonl"
+    checkpoint = tmp_path / "crawl.jsonl.checkpoint"
+
+    # Reference: the uninterrupted checkpointed run.
+    started = time.perf_counter()
+    CrawlEngine(
+        crawler, workers=_PARALLEL_WORKERS, shards=shards,
+        spool_path=out, checkpoint_path=checkpoint,
+    ).execute(plan)
+    full_elapsed = time.perf_counter() - started
+    full_bytes = out.read_bytes()
+
+    # Crash at ~half: the surviving shards' outcomes stay checkpointed.
+    crashed = CrawlEngine(
+        crawler, workers=_PARALLEL_WORKERS, shards=shards,
+        spool_path=out, checkpoint_path=checkpoint,
+        executor=FaultInjectingExecutor(_PARALLEL_WORKERS, victims),
+    )
+    try:
+        crashed.execute(plan)
+        raise AssertionError("fault injection did not fire")
+    except RuntimeError:
+        pass
+
+    def resume_run():
+        return CrawlEngine(
+            crawler, workers=_PARALLEL_WORKERS, shards=shards,
+            spool_path=out, checkpoint_path=checkpoint, resume=True,
+        ).execute(plan)
+
+    result = benchmark.pedantic(resume_run, rounds=1, iterations=1,
+                                warmup_rounds=0)
+    resume_elapsed = benchmark.stats.stats.total
+    world.network.latency = 0.0
+
+    replayed = result.resumed / len(plan)
+    speedup = full_elapsed / resume_elapsed if resume_elapsed else 0.0
+    write_artifact(
+        "resume_speedup",
+        f"sample: {len(sample)} sites, latency "
+        f"{_BENCH_LATENCY * 1000:.0f}ms/request, "
+        f"{shards} shards ({len(victims)} killed mid-run)\n"
+        f"uninterrupted run: {full_elapsed:.2f}s\n"
+        f"resumed run:       {resume_elapsed:.2f}s "
+        f"({result.resumed}/{len(plan)} outcomes replayed, "
+        f"{replayed * 100:.0f}%)\n"
+        f"resume speedup:    {speedup:.2f}x",
+    )
+    # The resumed output is byte-identical to the uninterrupted run's,
+    # and a meaningful share of the plan was replayed, not re-crawled.
+    assert out.read_bytes() == full_bytes
+    assert result.resumed > 0
+    expected = sum(
+        1 for domain in sample if shard_of(domain, shards) not in victims
+    )
+    assert result.resumed == expected

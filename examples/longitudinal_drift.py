@@ -3,36 +3,42 @@
 
 Models the movement the paper observed between its May and September
 2023 snapshots (§4.4 footnote 5): SMP rosters grow, new walls appear,
-a few disappear::
+a few disappear.  The campaign runs through the sharded crawl engine
+(every wave is a :class:`CrawlPlan`), so it parallelises and resumes
+like any other engine workload::
 
     python examples/longitudinal_drift.py
 """
 
-from repro.measure import Crawler
-from repro.measure.longitudinal import compare_rounds, smp_growth
+from repro.measure.instrumentation import EventLog
+from repro.measure.longitudinal import run_longitudinal
 from repro.webgen import build_world
-from repro.webgen.evolve import evolve_world
 
 
 def main() -> None:
     world_may = build_world(scale=0.05, seed=2023)
-    world_sept, summary = evolve_world(world_may, months=4)
-    print(summary.render())
-    print()
-    print(smp_growth(world_may, world_sept).render())
-
-    # Crawl the same German toplist in both snapshots.
     targets = [
         d for d in world_may.toplists["DE"].domains()
         if world_may.sites[d].reachable
     ]
-    round1 = Crawler(world_may).crawl_all(["DE"], targets)
-    targets2 = [d for d in targets if world_sept.sites[d].reachable]
-    round2 = Crawler(world_sept).crawl_all(["DE"], targets2)
 
+    log = EventLog()
+    campaign = run_longitudinal(
+        world_may, months=(0, 4), vp="DE", domains=targets,
+        workers=4, event_log=log,
+    )
+
+    september = campaign.waves[-1]
+    print(september.summary.render())
     print()
-    comparison = compare_rounds(round1, round2)
-    print(comparison.render())
+    print(campaign.render())
+
+    plans = log.by_kind("plan")
+    print()
+    print(f"(engine executed {len(plans)} wave plans, "
+          f"{sum(p.detail['tasks'] for p in plans)} tasks)")
+
+    comparison = campaign.comparisons()[-1]
     if comparison.appeared:
         print("\nnewly walled sites include:")
         for domain in comparison.appeared[:5]:

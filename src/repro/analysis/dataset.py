@@ -12,7 +12,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, List, Sequence, Union
 
 from repro.measure.records import CookieMeasurement, UBlockRecord, VisitRecord
 from repro.measure.storage import load_records, save_records

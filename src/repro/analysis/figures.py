@@ -8,7 +8,7 @@ during analysis.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.analysis.stats import ecdf_at, mean, median, pearson
 from repro.categorize import WebFilterDB

@@ -8,7 +8,7 @@ readable in a terminal or a text file.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.analysis.stats import quantile
 from repro.errors import AnalysisError

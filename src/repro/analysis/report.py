@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Set
+from typing import Dict, Set
 
 from repro.measure.crawl import CrawlResult
 from repro.webgen.toplist import BUCKET_TOP1K

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import List
 
 from repro.measure.crawl import CrawlResult
 from repro.urlkit import public_suffix

@@ -19,7 +19,7 @@ from repro.bannerclick.corpus import (
     has_cookiewall_words,
     has_reject_words,
 )
-from repro.browser import Browser, Page
+from repro.browser import Page
 from repro.dom import Document, Element, Node
 from repro.soup import Soup
 

@@ -13,7 +13,6 @@ from typing import Iterable, Iterator, List, Optional, Set
 
 from repro import thirdparty
 from repro.httpkit import Cookie
-from repro.urlkit import registrable_domain
 
 
 class JustDomainsList:

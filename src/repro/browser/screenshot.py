@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import List, Optional
 
 from repro.browser.page import Page
-from repro.dom import Document, Element, Node, ShadowRoot, Text
+from repro.dom import Element, Node, Text
 
 _WIDTH = 64
 _BUTTON_TAGS = frozenset({"button", "a"})

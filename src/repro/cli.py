@@ -53,6 +53,12 @@ def _add_engine_args(parser: argparse.ArgumentParser) -> None:
         help="crawl-engine shard count (default: 1 serial, 4x workers "
              "parallel; tasks are sharded by a stable domain hash)",
     )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="resume an interrupted run from its checkpoint "
+             "(<out>.checkpoint); refuses when the checkpoint fingerprint "
+             "does not match the plan/world/config",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -111,6 +117,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     measure.add_argument("--out", required=True, help="output JSONL path")
 
+    longitudinal = sub.add_parser(
+        "longitudinal",
+        help="re-crawl the same targets against evolved world snapshots "
+             "(waves through the crawl engine) and report the drift",
+    )
+    _add_world_args(longitudinal)
+    _add_engine_args(longitudinal)
+    longitudinal.add_argument("--vp", default="DE",
+                              help="vantage point code (default: DE)")
+    longitudinal.add_argument(
+        "--month", action="append", type=int, default=None, dest="months",
+        help="wave offset in months, repeatable and increasing; 0 is the "
+             "baseline snapshot (default: 0 and 4, the paper's May/Sept gap)",
+    )
+    longitudinal.add_argument(
+        "--out-dir", default=None,
+        help="spool each wave to <dir>/wave-<MM>.jsonl with a resumable "
+             "checkpoint alongside",
+    )
+
     report = sub.add_parser(
         "report", help="summarise saved crawl records (walls per VP)"
     )
@@ -155,7 +181,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if args.command == "crawl":
-        from repro.measure import Crawler, CrawlEngine
+        from repro.measure import CheckpointMismatch, Crawler, CrawlEngine
         from repro.measure.crawl import CrawlResult
 
         world = build_world(scale=args.scale, seed=args.seed)
@@ -163,19 +189,32 @@ def main(argv: Optional[List[str]] = None) -> int:
         plan = crawler.plan_detection_crawl(args.vp)
         # Shard output spools to <out>.partial as the crawl runs (a
         # crash keeps the completed shards without clobbering an older
-        # --out file); success writes --out in plan order.
+        # --out file); success writes --out in plan order.  Completed
+        # outcomes also checkpoint to <out>.checkpoint so a crashed run
+        # restarts from where it died with --resume.
         engine = CrawlEngine(
             crawler, workers=args.workers, shards=args.shards,
             spool_path=args.out,
+            checkpoint_path=f"{args.out}.checkpoint",
+            resume=args.resume,
         )
-        result = CrawlResult(records=engine.execute(plan).records)
-        walls = len(result.cookiewall_domains())
-        print(f"wrote {len(result.records)} records to {args.out} "
-              f"({walls} unique cookiewall domains)")
+        try:
+            result = engine.execute(plan)
+        except CheckpointMismatch as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        crawl_result = CrawlResult(records=result.records)
+        walls = len(crawl_result.cookiewall_domains())
+        resumed = (
+            f", {result.resumed} replayed from checkpoint"
+            if result.resumed else ""
+        )
+        print(f"wrote {len(crawl_result.records)} records to {args.out} "
+              f"({walls} unique cookiewall domains{resumed})")
         return 0
 
     if args.command == "measure":
-        from repro.measure import Crawler, CrawlEngine
+        from repro.measure import CheckpointMismatch, Crawler, CrawlEngine
 
         world = build_world(scale=args.scale, seed=args.seed)
         crawler = Crawler(world)
@@ -196,11 +235,45 @@ def main(argv: Optional[List[str]] = None) -> int:
         engine = CrawlEngine(
             crawler, workers=args.workers, shards=args.shards,
             spool_path=args.out,
+            checkpoint_path=f"{args.out}.checkpoint",
+            resume=args.resume,
         )
-        result = engine.execute(plan)
+        try:
+            result = engine.execute(plan)
+        except CheckpointMismatch as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        resumed = (
+            f", {result.resumed} replayed from checkpoint"
+            if result.resumed else ""
+        )
         print(f"wrote {len(result.records)} {args.mode} records to "
               f"{args.out} ({result.tasks_per_sec:.1f} tasks/s, "
-              f"{len(result.failures)} failures)")
+              f"{len(result.failures)} failures{resumed})")
+        return 0
+
+    if args.command == "longitudinal":
+        from repro.measure import CheckpointMismatch
+        from repro.measure.longitudinal import run_longitudinal
+
+        if args.resume and not args.out_dir:
+            print("error: --resume requires --out-dir (the checkpoints "
+                  "live next to the wave spools)", file=sys.stderr)
+            return 2
+        months = tuple(args.months) if args.months else (0, 4)
+        world = build_world(scale=args.scale, seed=args.seed)
+        try:
+            campaign = run_longitudinal(
+                world, months=months, vp=args.vp,
+                workers=args.workers, shards=args.shards,
+                out_dir=args.out_dir, resume=args.resume,
+            )
+        except (CheckpointMismatch, ValueError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        print(campaign.render())
+        if args.out_dir:
+            print(f"\nwave records spooled under {args.out_dir}")
         return 0
 
     if args.command == "report":

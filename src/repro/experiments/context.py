@@ -20,7 +20,8 @@ on visit ids.  Detection-crawl products are identical in both regimes.
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Sequence
+from pathlib import Path
+from typing import List, Optional, Sequence, Union
 
 from repro.measure.crawl import Crawler, CrawlResult
 from repro.measure.engine import CrawlEngine, CrawlPlan
@@ -47,6 +48,8 @@ class ExperimentContext:
         workers: int = 1,
         shards: Optional[int] = None,
         event_log: Optional[EventLog] = None,
+        spool_dir: Union[str, Path, None] = None,
+        resume: bool = False,
     ) -> None:
         self.world = world
         self.crawler = crawler or Crawler(world)
@@ -56,6 +59,15 @@ class ExperimentContext:
         self.workers = workers
         self.shards = shards
         self.event_log = event_log
+        #: With a spool_dir every cached product persists to
+        #: ``<spool_dir>/<name>.jsonl`` with a resumable checkpoint
+        #: alongside; ``resume=True`` replays completed tasks after a
+        #: crash.  Checkpointing switches even serial runs to the
+        #: engine's per-task visit-id streams (see the engine docs).
+        self.spool_dir = Path(spool_dir) if spool_dir is not None else None
+        if resume and self.spool_dir is None:
+            raise ValueError("resume=True requires a spool_dir")
+        self.resume = resume
         self._detection_crawl: Optional[CrawlResult] = None
         self._wall_measurements: Optional[List[CookieMeasurement]] = None
         self._regular_measurements: Optional[List[CookieMeasurement]] = None
@@ -64,13 +76,24 @@ class ExperimentContext:
         self._ublock: Optional[List[UBlockRecord]] = None
         self._account_ready = False
 
-    def _execute(self, plan: CrawlPlan) -> List:
-        """Run *plan* through a fresh engine with this context's config."""
+    def _execute(self, plan: CrawlPlan, name: Optional[str] = None) -> List:
+        """Run *plan* through a fresh engine with this context's config.
+
+        *name* keys the product's spool/checkpoint files when the
+        context was built with a ``spool_dir``.
+        """
+        spool_path = checkpoint_path = None
+        if self.spool_dir is not None and name is not None:
+            spool_path = self.spool_dir / f"{name}.jsonl"
+            checkpoint_path = self.spool_dir / f"{name}.jsonl.checkpoint"
         engine = CrawlEngine(
             self.crawler,
             workers=self.workers,
             shards=self.shards,
             event_log=self.event_log,
+            spool_path=spool_path,
+            checkpoint_path=checkpoint_path,
+            resume=self.resume,
         )
         return engine.execute(plan).records
 
@@ -80,7 +103,9 @@ class ExperimentContext:
     def detection_crawl(self) -> CrawlResult:
         if self._detection_crawl is None:
             plan = self.crawler.plan_detection_crawl(self.vps)
-            self._detection_crawl = CrawlResult(records=self._execute(plan))
+            self._detection_crawl = CrawlResult(
+                records=self._execute(plan, name="detection_crawl")
+            )
         return self._detection_crawl
 
     def wall_records_de(self) -> List[VisitRecord]:
@@ -115,7 +140,8 @@ class ExperimentContext:
                 self.crawler.plan_cookie_measurements(
                     "DE", self.verified_wall_domains(),
                     mode="accept", repeats=self.repeats,
-                )
+                ),
+                name="wall_measurements",
             )
         return self._wall_measurements
 
@@ -129,7 +155,8 @@ class ExperimentContext:
             self._regular_measurements = self._execute(
                 self.crawler.plan_cookie_measurements(
                     "DE", sample, mode="accept", repeats=self.repeats,
-                )
+                ),
+                name="regular_measurements",
             )
         return self._regular_measurements
 
@@ -150,7 +177,8 @@ class ExperimentContext:
             self._cp_accept = self._execute(
                 self.crawler.plan_cookie_measurements(
                     "DE", partners, mode="accept", repeats=self.repeats,
-                )
+                ),
+                name="contentpass_accept",
             )
         return self._cp_accept
 
@@ -163,7 +191,8 @@ class ExperimentContext:
                     "DE", platform.partner_domains, "contentpass",
                     _ACCOUNT_EMAIL, _ACCOUNT_PASSWORD,
                     repeats=self.repeats,
-                )
+                ),
+                name="contentpass_subscription",
             )
         return self._cp_subscription
 
@@ -176,6 +205,7 @@ class ExperimentContext:
                 self.crawler.plan_ublock(
                     "DE", self.verified_wall_domains(),
                     iterations=self.repeats,
-                )
+                ),
+                name="ublock",
             )
         return self._ublock

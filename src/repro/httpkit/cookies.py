@@ -10,9 +10,8 @@ from the visited page's registrable domain.
 
 from __future__ import annotations
 
-import itertools
-from dataclasses import dataclass, field, replace
-from typing import Dict, Iterable, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 from repro.errors import CookieError
 from repro.urlkit import URL, is_public_suffix, registrable_domain

@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import math
-import unicodedata
 from collections import Counter
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple

@@ -10,17 +10,25 @@ merge; see :mod:`repro.measure.engine`).
 from repro.measure.cookies_analysis import CookieCounts, count_cookies
 from repro.measure.crawl import Crawler, CrawlResult
 from repro.measure.engine import (
+    CheckpointMismatch,
     CrawlEngine,
     CrawlPlan,
     CrawlTask,
     EngineResult,
+    FaultInjectingExecutor,
     ParallelExecutor,
     RetryPolicy,
     SerialExecutor,
     TaskOutcome,
+    plan_fingerprint,
 )
 from repro.measure.records import CookieMeasurement, VisitRecord
-from repro.measure.storage import iter_records, load_records, save_records
+from repro.measure.storage import (
+    TornRecordWarning,
+    iter_records,
+    load_records,
+    save_records,
+)
 
 __all__ = [
     "Crawler",
@@ -28,15 +36,19 @@ __all__ = [
     "CrawlEngine",
     "CrawlPlan",
     "CrawlTask",
+    "CheckpointMismatch",
     "EngineResult",
     "TaskOutcome",
     "RetryPolicy",
     "SerialExecutor",
     "ParallelExecutor",
+    "FaultInjectingExecutor",
     "VisitRecord",
     "CookieMeasurement",
     "CookieCounts",
+    "TornRecordWarning",
     "count_cookies",
+    "plan_fingerprint",
     "save_records",
     "load_records",
     "iter_records",

@@ -6,7 +6,7 @@ from dataclasses import dataclass
 from typing import Iterable, Optional
 
 from repro.blocklists import JustDomainsList
-from repro.httpkit import Cookie, CookieJar
+from repro.httpkit import CookieJar
 
 
 @dataclass(frozen=True)

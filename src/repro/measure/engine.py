@@ -39,6 +39,27 @@ loop.  This module turns that loop into an explicit subsystem:
    canonical order and the partial removed, so an interrupted run
    never clobbers a previous complete output.
 
+Checkpoints and resume
+----------------------
+With a ``checkpoint_path``, the engine is additionally *resumable*: a
+JSONL checkpoint records a header (a :func:`plan_fingerprint` binding
+the file to this exact plan, world seed, and visit-id regime) followed
+by one line per completed task outcome, appended as each shard
+finishes.  A crashed run leaves the completed outcomes there; starting
+the engine again with ``resume=True`` reconciles the checkpoint
+against the plan — already-completed tasks are skipped and their
+recorded outcomes replayed into the plan-order merge — so a resumed
+run produces **byte-identical** final output to an uninterrupted one.
+A fingerprint mismatch (different plan, world seed, or id regime)
+raises :class:`CheckpointMismatch` rather than silently mixing two
+different runs.  On success the checkpoint is removed.
+
+Checkpointed runs always use the per-task visit-id streams (the
+parallel regime below) regardless of ``workers``, because the serial
+shared-counter stream cannot survive a resume boundary: skipped tasks
+would no longer advance it.  Detection records are unaffected; cookie
+and uBlock values are deterministic within the per-task regime.
+
 Determinism
 -----------
 For a fixed world seed the merged detection-crawl records are
@@ -70,19 +91,30 @@ instrumented browser session.
 
 from __future__ import annotations
 
+import hashlib
 import itertools
+import json
 import threading
 import time
 import zlib
 from concurrent.futures import ThreadPoolExecutor as _PyThreadPool
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from repro.errors import NetworkError
 from repro.measure.instrumentation import Event, EventLog
-from repro.measure.storage import save_records
+from repro.measure.storage import (
+    decode_record,
+    encode_record,
+    iter_jsonl,
+    save_records,
+)
 from repro.rng import derive_seed
+
+#: Bumped whenever the checkpoint file layout changes; part of the
+#: fingerprint, so old checkpoints are refused instead of misread.
+CHECKPOINT_VERSION = 1
 
 #: Task modes the engine knows how to dispatch (see ``Crawler.run_task``).
 TASK_MODES = ("detect", "accept", "reject", "subscription", "ublock")
@@ -110,6 +142,46 @@ def shard_of(domain: str, shards: int) -> int:
     if shards <= 1:
         return 0
     return zlib.crc32(domain.encode("utf-8")) % shards
+
+
+class CheckpointMismatch(RuntimeError):
+    """A checkpoint was produced by a different plan, world, or engine
+    configuration; resuming it would silently mix two runs."""
+
+
+def plan_fingerprint(
+    plan: "CrawlPlan",
+    *,
+    world_seed: Optional[int] = None,
+    world_scale: Optional[float] = None,
+    world_evolution: int = 0,
+    per_task_ids: bool = True,
+) -> str:
+    """A stable hash binding a checkpoint to one resumable run.
+
+    Covers everything the merged output is a function of: the full
+    task list (order included — outcome indices are plan positions),
+    the plan context, the world identity (seed, scale, and months of
+    :func:`~repro.webgen.evolve.evolve_world` drift — two snapshots
+    share a seed but not a web), and the visit-id regime.  It
+    deliberately excludes ``workers``/``shards``/retry settings: in
+    the per-task id regime those change scheduling, never results, so
+    a crawl may be resumed with a different worker count.
+    """
+    payload = {
+        "version": CHECKPOINT_VERSION,
+        "world_seed": world_seed,
+        "world_scale": world_scale,
+        "world_evolution": world_evolution,
+        "visit_ids": "per-task" if per_task_ids else "serial",
+        "context": plan.context,
+        "tasks": [
+            [task.vp, task.domain, task.mode, task.repeats]
+            for task in plan.tasks
+        ],
+    }
+    blob = json.dumps(payload, sort_keys=True, ensure_ascii=False, default=str)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
 
 
 @dataclass
@@ -172,6 +244,13 @@ class EngineResult:
 
     outcomes: List[TaskOutcome] = field(default_factory=list)
     elapsed: float = 0.0
+    #: Outcomes replayed from a checkpoint rather than executed.
+    resumed: int = 0
+
+    @property
+    def executed(self) -> int:
+        """Tasks actually run this invocation (resumed ones excluded)."""
+        return len(self.outcomes) - self.resumed
 
     @property
     def records(self) -> List[object]:
@@ -184,9 +263,11 @@ class EngineResult:
 
     @property
     def tasks_per_sec(self) -> float:
+        """Execution throughput — replayed outcomes took no work, so
+        they do not count (a 90%-resumed run is not 10× faster)."""
         if self.elapsed <= 0.0:
             return 0.0
-        return len(self.outcomes) / self.elapsed
+        return self.executed / self.elapsed
 
     def __len__(self) -> int:
         return len(self.outcomes)
@@ -235,6 +316,31 @@ class ParallelExecutor(Executor):
         return outcomes
 
 
+class FaultInjectingExecutor(ParallelExecutor):
+    """Chaos harness for the checkpoint/resume path: kills the chosen
+    shards either before they run or — with ``partial=True`` — after
+    half their tasks completed (and were checkpointed), which is what a
+    worker dying mid-shard looks like.  Surviving shards finish and
+    checkpoint normally, exactly as under a real crash of one worker.
+    Used by the crash-safety tests and benchmarks; never the default.
+    """
+
+    def __init__(self, workers: int, fail_shards, *, partial: bool = False):
+        super().__init__(workers)
+        self.fail_shards = set(fail_shards)
+        self.partial = partial
+
+    def run(self, sharded, run_shard):
+        def wrapped(shard_id, items):
+            if shard_id in self.fail_shards:
+                if self.partial:
+                    run_shard(shard_id, items[: len(items) // 2])
+                raise RuntimeError(f"injected crash in shard {shard_id}")
+            return run_shard(shard_id, items)
+
+        return super().run(sharded, wrapped)
+
+
 class CrawlEngine:
     """Compiles nothing, schedules everything: executes a
     :class:`CrawlPlan` through an executor and merges the outcomes.
@@ -270,6 +376,22 @@ class CrawlEngine:
         *spool_path* in canonical plan order — identical runs produce
         byte-identical files.  This is crash durability, not a memory
         saving: the merged result is still assembled in memory.
+    checkpoint_path:
+        When set, completed task outcomes (records *and* permanent
+        failures, with their plan indices) are appended to this JSONL
+        checkpoint as shards finish, under a :func:`plan_fingerprint`
+        header.  Enables crash-safe resume — see the module docstring.
+        Checkpointed runs always use per-task visit-id streams, even
+        when serial.  Removed on success.
+    resume:
+        With ``resume=True`` an existing checkpoint is reconciled
+        against the plan before execution: completed tasks are skipped
+        and their outcomes replayed into the merge.  A fingerprint
+        mismatch raises :class:`CheckpointMismatch`; a missing
+        checkpoint simply starts fresh.
+    executor:
+        Override the executor strategy (a test/fault-injection hook);
+        by default chosen from *workers* as described above.
     """
 
     def __init__(
@@ -283,6 +405,9 @@ class CrawlEngine:
         progress: Optional[ProgressHook] = None,
         progress_every: int = 1000,
         spool_path=None,
+        checkpoint_path: Union[str, Path, None] = None,
+        resume: bool = False,
+        executor: Optional[Executor] = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -298,6 +423,15 @@ class CrawlEngine:
         self.progress = progress
         self.progress_every = max(progress_every, 1)
         self.spool_path = spool_path
+        self.checkpoint_path = (
+            Path(checkpoint_path) if checkpoint_path is not None else None
+        )
+        if resume and self.checkpoint_path is None:
+            # A silently ignored resume would re-run everything while
+            # the caller believes the checkpoint was honoured.
+            raise ValueError("resume=True requires a checkpoint_path")
+        self.resume = resume
+        self.executor = executor
         self._spool_partial: Optional[Path] = None
         self._lock = threading.Lock()
         #: Separate lock for the caller's progress hook, so a slow (or
@@ -308,10 +442,38 @@ class CrawlEngine:
         self._total = 0
 
     # ------------------------------------------------------------------
+    @property
+    def per_task_ids(self) -> bool:
+        """Whether tasks get private visit-id streams (module docstring).
+
+        True in parallel mode and for every checkpointed run: the
+        serial shared-counter stream cannot survive a resume boundary,
+        since replayed tasks would no longer advance it.
+        """
+        return self.workers > 1 or self.checkpoint_path is not None
+
+    def fingerprint(self, plan: CrawlPlan) -> str:
+        """The :func:`plan_fingerprint` of *plan* under this engine."""
+        world = getattr(self.crawler, "world", None)
+        config = getattr(world, "config", None)
+        return plan_fingerprint(
+            plan,
+            world_seed=getattr(config, "seed", None),
+            world_scale=getattr(config, "scale", None),
+            world_evolution=getattr(world, "evolution_months", 0),
+            per_task_ids=self.per_task_ids,
+        )
+
     def execute(self, plan: CrawlPlan) -> EngineResult:
         """Run *plan* and return the plan-ordered merged result."""
         sharded = plan.sharded(self.shards)
-        self._done = 0
+        replayed = self._reconcile_checkpoint(plan)
+        if replayed:
+            sharded = [
+                [(index, task) for index, task in shard if index not in replayed]
+                for shard in sharded
+            ]
+        self._done = len(replayed)
         self._total = len(plan)
         self._spool_partial = None
         if self.spool_path is not None:
@@ -322,9 +484,14 @@ class CrawlEngine:
             "shards": self.shards,
             "workers": self.workers,
         })
+        if replayed:
+            self._emit("resume", "engine://resume", {
+                "completed": len(replayed),
+                "remaining": len(plan) - len(replayed),
+            })
         # Each shard is one unit of concurrency, so threads beyond the
         # shard count would only idle.
-        executor: Executor = (
+        executor: Executor = self.executor or (
             SerialExecutor() if self.workers == 1
             else ParallelExecutor(min(self.workers, self.shards))
         )
@@ -333,8 +500,11 @@ class CrawlEngine:
             plan, sid, items
         ))
         elapsed = time.perf_counter() - started
+        outcomes.extend(replayed.values())
         outcomes.sort(key=lambda outcome: outcome.index)
-        result = EngineResult(outcomes=outcomes, elapsed=elapsed)
+        result = EngineResult(
+            outcomes=outcomes, elapsed=elapsed, resumed=len(replayed)
+        )
         if self.spool_path is not None:
             # Shards appended to the .partial file in completion order
             # (a crash leaves them there, and the previous complete
@@ -343,12 +513,127 @@ class CrawlEngine:
             save_records(result.records, self.spool_path)
             if self._spool_partial is not None:
                 self._spool_partial.unlink(missing_ok=True)
+        if self.checkpoint_path is not None:
+            # The run completed; its durable output (if any) is final.
+            self.checkpoint_path.unlink(missing_ok=True)
         self._emit("throughput", "engine://throughput", {
-            "tasks": len(outcomes),
+            "tasks": result.executed,
+            "resumed": result.resumed,
             "elapsed": elapsed,
             "tasks_per_sec": result.tasks_per_sec,
         })
         return result
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def _reconcile_checkpoint(self, plan: CrawlPlan) -> Dict[int, TaskOutcome]:
+        """Load resumable outcomes and (re)start the checkpoint file.
+
+        Returns the plan-index → outcome map to replay.  The file is
+        rewritten as header + replayed outcomes, so it stays canonical
+        (one header, then outcomes) across repeated resumes.
+        """
+        if self.checkpoint_path is None:
+            return {}
+        fingerprint = self.fingerprint(plan)
+        replayed: Dict[int, TaskOutcome] = {}
+        if self.resume and self.checkpoint_path.exists():
+            replayed = self._load_checkpoint(plan, fingerprint)
+        self.checkpoint_path.parent.mkdir(parents=True, exist_ok=True)
+        with self.checkpoint_path.open("w", encoding="utf-8") as handle:
+            header = {
+                "kind": "header",
+                "version": CHECKPOINT_VERSION,
+                "fingerprint": fingerprint,
+                "tasks": len(plan),
+            }
+            handle.write(json.dumps(header, ensure_ascii=False) + "\n")
+            for index in sorted(replayed):
+                handle.write(self._outcome_line(replayed[index]))
+        return replayed
+
+    def _load_checkpoint(
+        self, plan: CrawlPlan, fingerprint: str
+    ) -> Dict[int, TaskOutcome]:
+        """Parse the checkpoint, refusing someone else's (mismatch)."""
+        try:
+            return self._parse_checkpoint(plan, fingerprint)
+        except CheckpointMismatch:
+            raise
+        except (ValueError, KeyError, TypeError) as error:
+            # Mid-file corruption, a malformed outcome line, an
+            # undecodable record — all land on the same refusal path
+            # the CLI already handles, instead of a raw traceback.
+            raise CheckpointMismatch(
+                f"{self.checkpoint_path}: corrupt checkpoint ({error}); "
+                "refusing to resume — rerun without resume to start over"
+            ) from error
+
+    def _parse_checkpoint(
+        self, plan: CrawlPlan, fingerprint: str
+    ) -> Dict[int, TaskOutcome]:
+        replayed: Dict[int, TaskOutcome] = {}
+        header_seen = False
+        for line_number, payload in iter_jsonl(self.checkpoint_path):
+            kind = payload.get("kind")
+            if not header_seen:
+                if kind != "header":
+                    raise CheckpointMismatch(
+                        f"{self.checkpoint_path}: not a crawl checkpoint "
+                        f"(first line is {kind!r})"
+                    )
+                found = payload.get("fingerprint")
+                if found != fingerprint:
+                    raise CheckpointMismatch(
+                        f"{self.checkpoint_path}: fingerprint {found} does "
+                        f"not match this plan/world/config ({fingerprint}); "
+                        "refusing to resume — rerun without resume to start "
+                        "over"
+                    )
+                header_seen = True
+                continue
+            if kind != "outcome":
+                continue
+            index = payload["index"]
+            if not 0 <= index < len(plan.tasks):
+                raise CheckpointMismatch(
+                    f"{self.checkpoint_path}:{line_number}: outcome index "
+                    f"{index} outside the plan"
+                )
+            record_payload = payload.get("record")
+            replayed[index] = TaskOutcome(
+                index=index,
+                task=plan.tasks[index],
+                record=(
+                    decode_record(record_payload)
+                    if record_payload is not None else None
+                ),
+                error=payload.get("error"),
+                attempts=payload.get("attempts", 1),
+            )
+        return replayed
+
+    @staticmethod
+    def _outcome_line(outcome: TaskOutcome) -> str:
+        payload = {
+            "kind": "outcome",
+            "index": outcome.index,
+            "attempts": outcome.attempts,
+            "error": outcome.error,
+            "record": (
+                encode_record(outcome.record)
+                if outcome.record is not None else None
+            ),
+        }
+        return json.dumps(payload, ensure_ascii=False) + "\n"
+
+    def _checkpoint_outcomes(self, outcomes: List[TaskOutcome]) -> None:
+        """Append one finished shard's outcomes (caller holds the lock)."""
+        with self.checkpoint_path.open("a", encoding="utf-8") as handle:
+            for outcome in outcomes:
+                handle.write(self._outcome_line(outcome))
+            handle.flush()
 
     # ------------------------------------------------------------------
     def _run_shard(
@@ -359,10 +644,15 @@ class CrawlEngine:
     ) -> List[TaskOutcome]:
         started = time.perf_counter()
         outcomes = [self._run_one(plan, index, task) for index, task in items]
-        if self._spool_partial is not None and outcomes:
+        if outcomes and (
+            self._spool_partial is not None or self.checkpoint_path is not None
+        ):
             records = [o.record for o in outcomes if o.record is not None]
             with self._lock:
-                save_records(records, self._spool_partial, append=True)
+                if self._spool_partial is not None:
+                    save_records(records, self._spool_partial, append=True)
+                if self.checkpoint_path is not None:
+                    self._checkpoint_outcomes(outcomes)
         self._emit("shard", f"engine://shard/{shard_id}", {
             "shard": shard_id,
             "tasks": len(items),
@@ -372,7 +662,7 @@ class CrawlEngine:
 
     def _run_one(self, plan: CrawlPlan, index: int, task: CrawlTask) -> TaskOutcome:
         attempts = 0
-        visit_ids = self._task_id_stream(task) if self.workers > 1 else None
+        visit_ids = self._task_id_stream(task) if self.per_task_ids else None
         while True:
             attempts += 1
             try:

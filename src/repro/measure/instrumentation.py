@@ -13,7 +13,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterator, List, Optional, Union
+from typing import Dict, List, Union
 
 from repro.httpkit import Request, Response
 
@@ -31,6 +31,7 @@ EVENT_KINDS = (
     "task-retry",
     "progress",
     "throughput",
+    "resume",
 )
 
 

@@ -1,18 +1,34 @@
-"""Longitudinal comparison of two measurement rounds.
+"""Longitudinal measurement: repeated crawl rounds over an evolving web.
 
 The paper notes ecosystem drift between its May and September 2023
 snapshots (§4.4 footnote 5: contentpass 219→270, freechoice 167→184
 partners) and nearly doubled German top-1k prevalence versus 2022
-(§4.1).  This module compares two crawl rounds of the same target list
-and reports exactly that kind of movement.
+(§4.1).  This module measures exactly that kind of movement:
+:func:`run_longitudinal` re-crawls the same target list against
+successive :func:`~repro.webgen.evolve.evolve_world` snapshots
+("waves"), and :func:`compare_rounds` / :func:`smp_growth` diff the
+rounds.
+
+Every wave is compiled into a
+:class:`~repro.measure.engine.CrawlPlan` and executed through the
+sharded :class:`~repro.measure.engine.CrawlEngine`, so the
+longitudinal workload inherits sharding, parallelism, per-task retry,
+JSONL spooling, and checkpoint/resume — a months-long re-measurement
+campaign can die mid-wave and pick up where it stopped.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Set
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Union
 
-from repro.measure.crawl import CrawlResult
+from repro.measure.crawl import Crawler, CrawlResult
+from repro.measure.engine import CrawlEngine, RetryPolicy
+from repro.measure.instrumentation import EventLog
+from repro.measure.storage import iter_records
+from repro.webgen.evolve import EvolutionSummary, evolve_world
+from repro.webgen.world import World
 
 
 @dataclass
@@ -87,3 +103,169 @@ def smp_growth(world_before, world_after) -> SMPGrowth:
             len(after.partner_domains) if after is not None else 0,
         )
     return growth
+
+
+# ---------------------------------------------------------------------------
+# The longitudinal workload, routed through the crawl engine
+# ---------------------------------------------------------------------------
+
+@dataclass
+class LongitudinalWave:
+    """One measurement round: a world snapshot plus its crawl."""
+
+    months: int
+    world: World
+    crawl: CrawlResult
+    #: Drift applied to reach this snapshot (``None`` for the baseline).
+    summary: Optional[EvolutionSummary] = None
+    #: Outcomes replayed from a checkpoint rather than re-crawled.
+    resumed: int = 0
+
+
+@dataclass
+class LongitudinalRun:
+    """All waves of one longitudinal campaign, oldest first."""
+
+    vp: str
+    waves: List[LongitudinalWave] = field(default_factory=list)
+
+    def comparisons(self) -> List[RoundComparison]:
+        """Wall movement between each pair of consecutive waves."""
+        return [
+            compare_rounds(earlier.crawl, later.crawl, vp=self.vp)
+            for earlier, later in zip(self.waves, self.waves[1:])
+        ]
+
+    def roster_growth(self) -> SMPGrowth:
+        """SMP roster movement from the first to the last snapshot."""
+        return smp_growth(self.waves[0].world, self.waves[-1].world)
+
+    def render(self) -> str:
+        lines = [f"Longitudinal campaign ({len(self.waves)} waves, vp={self.vp})"]
+        for wave in self.waves:
+            walls = len(wave.crawl.cookiewall_domains(self.vp))
+            lines.append(
+                f"  month {wave.months}: {len(wave.crawl)} visits, "
+                f"{walls} cookiewall domains"
+            )
+        for (earlier, later), comparison in zip(
+            zip(self.waves, self.waves[1:]), self.comparisons()
+        ):
+            lines.append("")
+            lines.append(f"month {earlier.months} -> month {later.months}:")
+            lines.append(comparison.render())
+        lines.append("")
+        lines.append(self.roster_growth().render())
+        return "\n".join(lines)
+
+
+def run_longitudinal(
+    world: World,
+    *,
+    months: Sequence[int] = (0, 4),
+    vp: str = "DE",
+    domains: Optional[Sequence[str]] = None,
+    workers: int = 1,
+    shards: Optional[int] = None,
+    retry: Optional[RetryPolicy] = None,
+    event_log: Optional[EventLog] = None,
+    out_dir: Union[str, Path, None] = None,
+    resume: bool = False,
+) -> LongitudinalRun:
+    """Crawl *world* and its evolved snapshots through the engine.
+
+    Each entry of *months* is one wave: ``0`` is the baseline world,
+    any other value an :func:`~repro.webgen.evolve.evolve_world`
+    snapshot that many months later.  Every wave detection-crawls the
+    *same* target list (defaulting to the baseline's crawl targets, so
+    sites that die mid-campaign are measured as unreachable rather
+    than silently dropped) from the single vantage point *vp*.
+
+    The crawl runs through :class:`~repro.measure.engine.CrawlEngine`
+    with the given *workers*/*shards*/*retry* configuration; engine
+    events (``plan``/``shard``/``progress``/``resume``/…) stream into
+    *event_log*.  With *out_dir*, wave records spool to
+    ``wave-<MM>.jsonl`` and each wave keeps a resumable checkpoint
+    (``<spool>.checkpoint``); pass ``resume=True`` to pick up an
+    interrupted campaign.  Resume works at two levels: a wave whose
+    spool is already complete (full record count, no checkpoint left
+    behind) is reloaded from disk without re-crawling, and the wave
+    that actually crashed resumes from its checkpoint.
+    """
+    if not months:
+        raise ValueError("months must name at least one wave")
+    if sorted(months) != list(months) or len(set(months)) != len(months):
+        raise ValueError("months must be strictly increasing")
+    if months[0] < 0:
+        raise ValueError("months must be >= 0")
+    if resume and out_dir is None:
+        # Without spools/checkpoints a "resumed" campaign would simply
+        # re-crawl everything while claiming otherwise.
+        raise ValueError("resume=True requires out_dir")
+    targets = (
+        list(domains) if domains is not None else list(world.crawl_targets)
+    )
+    run = LongitudinalRun(vp=vp)
+    for month in months:
+        if month == 0:
+            wave_world, summary = world, None
+        else:
+            wave_world, summary = evolve_world(world, months=month)
+        crawler = Crawler(wave_world)
+        plan = crawler.plan_detection_crawl([vp], targets)
+        spool_path = checkpoint_path = None
+        if out_dir is not None:
+            spool_path = Path(out_dir) / f"wave-{month:02d}.jsonl"
+            checkpoint_path = Path(f"{spool_path}.checkpoint")
+        if resume:
+            replayed = _reload_completed_wave(spool_path, checkpoint_path, plan)
+            if replayed is not None:
+                run.waves.append(
+                    LongitudinalWave(
+                        months=month,
+                        world=wave_world,
+                        crawl=CrawlResult(records=replayed),
+                        summary=summary,
+                        resumed=len(replayed),
+                    )
+                )
+                continue
+        engine = CrawlEngine(
+            crawler,
+            workers=workers,
+            shards=shards,
+            retry=retry,
+            event_log=event_log,
+            spool_path=spool_path,
+            checkpoint_path=checkpoint_path,
+            resume=resume,
+        )
+        result = engine.execute(plan)
+        run.waves.append(
+            LongitudinalWave(
+                months=month,
+                world=wave_world,
+                crawl=CrawlResult(records=result.records),
+                summary=summary,
+                resumed=result.resumed,
+            )
+        )
+    return run
+
+
+def _reload_completed_wave(spool_path, checkpoint_path, plan):
+    """The records of a wave that already finished, or ``None``.
+
+    A wave is complete when its spool holds one record per plan task
+    and no checkpoint was left behind (the engine deletes it on
+    success); anything else — missing spool, surviving checkpoint,
+    short or over-long file — re-runs the wave through the engine.
+    """
+    if spool_path is None or not spool_path.exists():
+        return None
+    if checkpoint_path is not None and checkpoint_path.exists():
+        return None
+    records = list(iter_records(spool_path))
+    if len(records) != len(plan.tasks):
+        return None
+    return records

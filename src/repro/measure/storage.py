@@ -3,13 +3,21 @@
 Large crawls stream: :func:`save_records` can append shard output as it
 arrives (``append=True``) and :func:`iter_records` yields records one
 line at a time, so neither side ever materialises the full list.
+
+Crash tolerance: a writer that dies mid-append leaves a *torn* final
+line (truncated JSON with no trailing record after it).  The readers
+here skip exactly that case with a :class:`TornRecordWarning` instead
+of raising — the crawl engine's resume path depends on it — while
+invalid JSON *followed by more records* is still hard corruption and
+raises.
 """
 
 from __future__ import annotations
 
 import json
+import warnings
 from pathlib import Path
-from typing import Iterable, Iterator, List, Union
+from typing import Dict, Iterable, Iterator, List, Tuple, Union
 
 from repro.measure.records import CookieMeasurement, UBlockRecord, VisitRecord
 
@@ -18,6 +26,24 @@ _RECORD_TYPES = {
     "CookieMeasurement": CookieMeasurement,
     "UBlockRecord": UBlockRecord,
 }
+
+
+class TornRecordWarning(UserWarning):
+    """A truncated trailing JSONL line (crashed writer) was skipped."""
+
+
+def encode_record(record) -> Dict[str, object]:
+    """The JSONL payload for one record (``{"type", "data"}``)."""
+    return {"type": type(record).__name__, "data": record.to_dict()}
+
+
+def decode_record(payload: Dict[str, object]):
+    """Rebuild a record from its :func:`encode_record` payload."""
+    type_name = payload.get("type")
+    record_cls = _RECORD_TYPES.get(type_name)
+    if record_cls is None:
+        raise ValueError(f"unknown record type {type_name!r}")
+    return record_cls.from_dict(payload["data"])
 
 
 def save_records(
@@ -34,31 +60,64 @@ def save_records(
     count = 0
     with path.open("a" if append else "w", encoding="utf-8") as handle:
         for record in records:
-            payload = {
-                "type": type(record).__name__,
-                "data": record.to_dict(),
-            }
-            handle.write(json.dumps(payload, ensure_ascii=False) + "\n")
+            handle.write(
+                json.dumps(encode_record(record), ensure_ascii=False) + "\n"
+            )
             count += 1
     return count
 
 
-def iter_records(path: Union[str, Path]) -> Iterator:
-    """Yield records from *path* one at a time (streaming reader)."""
+def iter_jsonl(path: Union[str, Path]) -> Iterator[Tuple[int, Dict]]:
+    """Yield ``(line_number, payload)`` pairs from a JSONL file.
+
+    Tolerates exactly one torn *final* line: when the last non-empty
+    line is not valid JSON (a writer crashed mid-append), it is skipped
+    with a :class:`TornRecordWarning`.  Invalid JSON anywhere else is
+    corruption and raises :class:`ValueError`.
+    """
     path = Path(path)
+    #: A decode failure is held back one line: only if another record
+    #: follows is it real corruption rather than a torn final write.
+    pending: "Tuple[int, json.JSONDecodeError] | None" = None
     with path.open("r", encoding="utf-8") as handle:
         for line_number, line in enumerate(handle, start=1):
             line = line.strip()
             if not line:
                 continue
-            payload = json.loads(line)
-            type_name = payload.get("type")
-            record_cls = _RECORD_TYPES.get(type_name)
-            if record_cls is None:
+            if pending is not None:
+                bad_line, error = pending
                 raise ValueError(
-                    f"{path}:{line_number}: unknown record type {type_name!r}"
+                    f"{path}:{bad_line}: invalid JSON mid-file ({error})"
                 )
-            yield record_cls.from_dict(payload["data"])
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as error:
+                pending = (line_number, error)
+                continue
+            yield line_number, payload
+    if pending is not None:
+        bad_line, error = pending
+        warnings.warn(
+            f"{path}:{bad_line}: skipping torn trailing line "
+            f"(crashed writer? {error})",
+            TornRecordWarning,
+            stacklevel=2,
+        )
+
+
+def iter_records(path: Union[str, Path]) -> Iterator:
+    """Yield records from *path* one at a time (streaming reader).
+
+    A torn final line — the crash-mid-write case — is skipped with a
+    :class:`TornRecordWarning` (see :func:`iter_jsonl`); a structurally
+    complete record of an unknown type still raises.
+    """
+    path = Path(path)
+    for line_number, payload in iter_jsonl(path):
+        try:
+            yield decode_record(payload)
+        except ValueError as error:
+            raise ValueError(f"{path}:{line_number}: {error}") from None
 
 
 def load_records(path: Union[str, Path]) -> List:

@@ -5,8 +5,8 @@ from __future__ import annotations
 import itertools
 import threading
 import time
-from dataclasses import dataclass, field
-from typing import Dict, Optional
+from dataclasses import dataclass
+from typing import Dict
 
 from repro.errors import ConnectionRefused, DNSError
 from repro.httpkit import Request, Response

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Iterator, List, Optional, Union
 
-from repro.dom.node import Document, Element, Node, Text
+from repro.dom.node import Element, Node, Text
 from repro.dom.selector import query_selector_all
 from repro.soup.parser import parse_document
 

@@ -24,7 +24,7 @@ Kinds
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
 
 @dataclass(frozen=True)

@@ -8,8 +8,8 @@ run on a ~1k-site world while benchmarks use the full 45k-site one.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
 
 from repro.errors import WorldGenerationError
 

@@ -70,7 +70,10 @@ def evolve_world(world: World, *, months: int = 4) -> "tuple[World, EvolutionSum
     """
     if months < 1:
         raise ValueError("months must be >= 1")
+    # The drift is re-derived from the *baseline* build (the seed plus
+    # "evolve"/months), so the snapshot's identity is just `months`.
     evolved = build_world(config=world.config)
+    evolved.evolution_months = months
     rng = random.Random(derive_seed(world.config.seed, "evolve", months))
     summary = EvolutionSummary(months=months)
 

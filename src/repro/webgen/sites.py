@@ -18,7 +18,7 @@ cookies carried on the request:
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.browser.effects import encode_effects
 from repro.httpkit import Request, Response, parse_cookie_header

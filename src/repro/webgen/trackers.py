@@ -9,7 +9,7 @@ behaviour is deterministic per (server, visit id).
 from __future__ import annotations
 
 import random
-from typing import TYPE_CHECKING, Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List
 
 from repro import thirdparty
 from repro.browser.effects import encode_effects

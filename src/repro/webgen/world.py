@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import itertools
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from repro import thirdparty
@@ -22,7 +22,7 @@ from repro.httpkit import CookieJar
 from repro.netsim import Network
 from repro.rng import SeedSequence
 from repro.smp import SMPPlatform, SMPServer
-from repro.vantage import VANTAGE_POINTS, VantagePoint
+from repro.vantage import VANTAGE_POINTS
 from repro.webgen.config import (
     COUNTRIES,
     COUNTRY_LANGUAGES,
@@ -42,7 +42,7 @@ from repro.webgen.config import (
 from repro.webgen.names import make_domain, site_title
 from repro.webgen.sites import SiteServer
 from repro.webgen.spec import BannerKind, SiteSpec, WallSpec
-from repro.webgen.toplist import BUCKET_TOP1K, BUCKET_TOP10K, Toplist, union_of
+from repro.webgen.toplist import BUCKET_TOP10K, Toplist, union_of
 from repro.webgen.trackers import AnalyticsServer, CdnServer, CMPServer, TrackerServer
 from repro.lang.corpus import CORPORA
 
@@ -69,6 +69,11 @@ class World:
     wall_domains: Set[str]             # true walls on the toplists (280)
     bait_domains: Set[str]             # false-positive bait sites
     offlist_partner_domains: Dict[str, List[str]]
+    #: Months of :func:`~repro.webgen.evolve.evolve_world` drift applied
+    #: on top of the seeded build (0 = the baseline snapshot).  Part of
+    #: the crawl engine's checkpoint fingerprint: two snapshots share a
+    #: seed but not a web, and must never resume each other's runs.
+    evolution_months: int = 0
 
     def browser(
         self,
@@ -531,7 +536,6 @@ class _WorldBuilder:
     def _ordinary_site(
         self, rng: random.Random, language: str, tld: str, category: str
     ) -> SiteSpec:
-        cfg = self.cfg
         domain = make_domain(rng, language, tld, self.used_domains)
         spec = SiteSpec(
             domain=domain,

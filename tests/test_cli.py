@@ -71,6 +71,91 @@ class TestCrawlAndReport:
         ) == 0
         assert serial_file.read_text() == parallel_file.read_text()
 
+    def test_crawl_checkpoint_consumed_on_success(self, tmp_path, capsys):
+        out_file = tmp_path / "records.jsonl"
+        assert main(
+            ["crawl", "--scale", "0.01", "--seed", "3",
+             "--vp", "DE", "--out", str(out_file)]
+        ) == 0
+        assert not (tmp_path / "records.jsonl.checkpoint").exists()
+
+
+class TestResume:
+    def _crashed_checkpoint(self, tmp_path, vps=("DE",)):
+        """The on-disk state a killed `crawl` run leaves behind."""
+        from repro.measure import Crawler, CrawlEngine, FaultInjectingExecutor
+        from repro.webgen import build_world
+
+        out = tmp_path / "records.jsonl"
+        world = build_world(scale=0.01, seed=3)
+        crawler = Crawler(world)
+        plan = crawler.plan_detection_crawl(list(vps))
+        engine = CrawlEngine(
+            crawler, workers=4, shards=8, spool_path=out,
+            checkpoint_path=f"{out}.checkpoint",
+            executor=FaultInjectingExecutor(4, (1, 3, 5, 7)),
+        )
+        with pytest.raises(RuntimeError):
+            engine.execute(plan)
+        return out
+
+    def test_crawl_resume_completes_interrupted_run(self, tmp_path, capsys):
+        out_file = self._crashed_checkpoint(tmp_path)
+        assert (tmp_path / "records.jsonl.checkpoint").exists()
+        assert main(
+            ["crawl", "--scale", "0.01", "--seed", "3", "--vp", "DE",
+             "--workers", "4", "--shards", "8", "--resume",
+             "--out", str(out_file)]
+        ) == 0
+        assert "replayed from checkpoint" in capsys.readouterr().out
+        assert not (tmp_path / "records.jsonl.checkpoint").exists()
+
+        # The resumed output equals an uninterrupted run's, byte for byte.
+        clean = tmp_path / "clean.jsonl"
+        assert main(
+            ["crawl", "--scale", "0.01", "--seed", "3",
+             "--vp", "DE", "--out", str(clean)]
+        ) == 0
+        assert out_file.read_bytes() == clean.read_bytes()
+
+    def test_resume_refuses_fingerprint_mismatch(self, tmp_path, capsys):
+        out_file = self._crashed_checkpoint(tmp_path)
+        # Same output path, different world seed: must refuse, exit 2.
+        assert main(
+            ["crawl", "--scale", "0.01", "--seed", "4", "--vp", "DE",
+             "--resume", "--out", str(out_file)]
+        ) == 2
+        assert "refusing to resume" in capsys.readouterr().err
+
+
+class TestLongitudinal:
+    def test_longitudinal_reports_drift(self, tmp_path, capsys):
+        out_dir = tmp_path / "waves"
+        assert main(
+            ["longitudinal", "--scale", "0.02", "--seed", "7",
+             "--month", "0", "--month", "4", "--workers", "2",
+             "--out-dir", str(out_dir)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Longitudinal campaign (2 waves, vp=DE)" in out
+        assert "month 0 -> month 4" in out
+        assert "SMP roster growth" in out
+        assert (out_dir / "wave-00.jsonl").exists()
+        assert (out_dir / "wave-04.jsonl").exists()
+
+    def test_longitudinal_rejects_bad_months(self, capsys):
+        assert main(
+            ["longitudinal", "--scale", "0.01", "--seed", "3",
+             "--month", "4", "--month", "0"]
+        ) == 2
+        assert "months must be strictly increasing" in capsys.readouterr().err
+
+    def test_longitudinal_resume_requires_out_dir(self, capsys):
+        assert main(
+            ["longitudinal", "--scale", "0.01", "--seed", "3", "--resume"]
+        ) == 2
+        assert "--resume requires --out-dir" in capsys.readouterr().err
+
 
 class TestMeasure:
     def test_measure_streams_records(self, tmp_path, capsys):

@@ -1,0 +1,107 @@
+"""Guard: the CLI's --help output and README stay in sync.
+
+The engine-backed subcommands (``crawl``, ``measure``,
+``longitudinal``) are the operational surface of the project; a flag
+added to the parser but not the README — or documented but removed —
+is exactly the drift CI should catch.  The parser is the source of
+truth: every option it defines must appear in the README's CLI
+section, and every ``--flag`` the README mentions there must exist in
+the parser and in the subcommand's ``--help`` text.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.cli import build_parser
+
+README = Path(__file__).resolve().parent.parent / "README.md"
+
+#: Subcommands whose flag surface the README must track.
+GUARDED = ("crawl", "measure", "longitudinal")
+
+#: Flags shared by every engine-backed subcommand, documented once in
+#: the README's common list rather than per subcommand.
+COMMON = {"--scale", "--seed", "--workers", "--shards", "--resume"}
+
+
+def subcommand_parsers():
+    parser = build_parser()
+    subparsers = next(
+        action for action in parser._actions
+        if getattr(action, "choices", None)
+    )
+    return {name: subparsers.choices[name] for name in GUARDED}
+
+
+def parser_flags(subparser):
+    return {
+        option
+        for action in subparser._actions
+        for option in action.option_strings
+        if option.startswith("--") and option != "--help"
+    }
+
+
+def readme_cli_section():
+    text = README.read_text(encoding="utf-8")
+    match = re.search(
+        r"^## Command-line interface\n(.*?)(?=^## )", text,
+        re.DOTALL | re.MULTILINE,
+    )
+    assert match, "README.md lost its '## Command-line interface' section"
+    return match.group(1)
+
+
+def readme_subsections():
+    """``{subcommand: text}`` plus the common intro under ``None``."""
+    section = readme_cli_section()
+    parts = re.split(r"^### `([a-z-]+)`\n", section, flags=re.MULTILINE)
+    out = {None: parts[0]}
+    for name, body in zip(parts[1::2], parts[2::2]):
+        out[name] = body
+    return out
+
+
+def documented_flags(text):
+    return set(re.findall(r"`(--[a-z-]+)`", text))
+
+
+@pytest.mark.parametrize("name", GUARDED)
+def test_every_parser_flag_is_documented(name):
+    subsections = readme_subsections()
+    assert name in subsections, f"README lacks a '### `{name}`' subsection"
+    documented = documented_flags(subsections[name]) | documented_flags(
+        subsections[None]
+    )
+    missing = parser_flags(subcommand_parsers()[name]) - documented
+    assert not missing, (
+        f"'{name}' flags missing from README.md: {sorted(missing)}"
+    )
+
+
+@pytest.mark.parametrize("name", GUARDED)
+def test_every_documented_flag_exists_in_help(name):
+    subparser = subcommand_parsers()[name]
+    known = parser_flags(subparser)
+    help_text = subparser.format_help()
+    documented = documented_flags(readme_subsections()[name])
+    ghosts = documented - known
+    assert not ghosts, (
+        f"README.md documents flags '{name}' does not have: {sorted(ghosts)}"
+    )
+    for flag in documented:
+        assert flag in help_text, f"{flag} absent from '{name} --help'"
+
+
+def test_common_flags_documented_once():
+    common_text = readme_subsections()[None]
+    documented = documented_flags(common_text)
+    assert COMMON <= documented, (
+        f"README common-flag list lost: {sorted(COMMON - documented)}"
+    )
+    # And the parser really does give every guarded subcommand all of
+    # them (otherwise the shared documentation would overclaim).
+    for name, subparser in subcommand_parsers().items():
+        assert COMMON <= parser_flags(subparser), name

@@ -7,12 +7,15 @@ import pytest
 from repro.errors import NetworkError
 from repro.experiments import ExperimentContext
 from repro.measure import (
+    CheckpointMismatch,
     Crawler,
     CrawlEngine,
     CrawlPlan,
     CrawlTask,
+    FaultInjectingExecutor,
     RetryPolicy,
     iter_records,
+    plan_fingerprint,
 )
 from repro.measure.crawl import CrawlResult
 from repro.measure.engine import shard_of
@@ -344,6 +347,347 @@ class TestProgressReporting:
         assert calls == [
             ("DE", 10, 15), ("DE", 15, 15), ("USE", 10, 15), ("USE", 15, 15),
         ]
+
+
+class TestCheckpointResume:
+    WORKERS, SHARDS = 4, 8
+
+    def _targets(self, world, count=60):
+        return world.crawl_targets[:count]
+
+    def _crash(self, crawler, plan, out, *, partial=False,
+               fail_shards=(1, 3, 5)):
+        """Run *plan* under fault injection; returns the engine."""
+        engine = CrawlEngine(
+            crawler, workers=self.WORKERS, shards=self.SHARDS,
+            spool_path=out, checkpoint_path=f"{out}.checkpoint",
+            executor=FaultInjectingExecutor(
+                self.WORKERS, fail_shards, partial=partial
+            ),
+        )
+        with pytest.raises(RuntimeError, match="injected crash"):
+            engine.execute(plan)
+        return engine
+
+    def test_killed_parallel_run_resumes_byte_identical_to_serial(
+        self, tmp_path, medium_world, medium_crawler
+    ):
+        """The acceptance criterion: a workers=4/shards=8 run killed
+        mid-execution and resumed produces a final JSONL byte-identical
+        to an uninterrupted clean serial run."""
+        targets = self._targets(medium_world)
+        plan = medium_crawler.plan_detection_crawl(["DE"], targets)
+
+        reference = tmp_path / "serial.jsonl"
+        CrawlEngine(medium_crawler, spool_path=reference).execute(plan)
+
+        out = tmp_path / "parallel.jsonl"
+        checkpoint = tmp_path / "parallel.jsonl.checkpoint"
+        self._crash(medium_crawler, plan, out)
+        assert checkpoint.exists()
+        assert not out.exists()  # the final file is never half-written
+
+        log = EventLog()
+        engine = CrawlEngine(
+            medium_crawler, workers=self.WORKERS, shards=self.SHARDS,
+            spool_path=out, checkpoint_path=checkpoint, resume=True,
+            event_log=log,
+        )
+        result = engine.execute(plan)
+        assert result.resumed > 0
+        survivors = {
+            d for d in targets
+            if shard_of(d, self.SHARDS) not in (1, 3, 5)
+        }
+        assert result.resumed == len(survivors)
+        assert out.read_bytes() == reference.read_bytes()
+        assert not checkpoint.exists()  # consumed on success
+        (resume_event,) = log.by_kind("resume")
+        assert resume_event.detail == {
+            "completed": result.resumed,
+            "remaining": len(targets) - result.resumed,
+        }
+
+    def test_mid_shard_kill_loses_only_unfinished_tail(
+        self, tmp_path, medium_world, medium_crawler
+    ):
+        """A shard killed halfway keeps its checkpointed first half;
+        resume re-runs only the tail and the merge is still identical."""
+        targets = self._targets(medium_world)
+        plan = medium_crawler.plan_detection_crawl(["DE"], targets)
+        reference = tmp_path / "serial.jsonl"
+        CrawlEngine(medium_crawler, spool_path=reference).execute(plan)
+
+        out = tmp_path / "resumed.jsonl"
+        self._crash(medium_crawler, plan, out, partial=True)
+        result = CrawlEngine(
+            medium_crawler, workers=self.WORKERS, shards=self.SHARDS,
+            spool_path=out, checkpoint_path=f"{out}.checkpoint", resume=True,
+        ).execute(plan)
+        # More than just the untouched shards were replayed: the killed
+        # shards' first halves survived in the checkpoint too.
+        untouched = sum(
+            1 for d in targets if shard_of(d, self.SHARDS) not in (1, 3, 5)
+        )
+        assert result.resumed > untouched
+        assert out.read_bytes() == reference.read_bytes()
+
+    def test_parallel_cookie_measurements_resume_identically(
+        self, tmp_path, medium_world, medium_crawler
+    ):
+        """Visit-id-consuming measurements also survive a crash: the
+        per-task id streams make the resumed run byte-identical to the
+        uninterrupted checkpointed run."""
+        domains = sorted(medium_world.wall_domains)[:8]
+        plan = medium_crawler.plan_cookie_measurements(
+            "DE", domains, mode="accept", repeats=2
+        )
+        reference = tmp_path / "uninterrupted.jsonl"
+        CrawlEngine(
+            medium_crawler, workers=self.WORKERS, shards=self.SHARDS,
+            spool_path=reference,
+            checkpoint_path=f"{reference}.checkpoint",
+        ).execute(plan)
+
+        out = tmp_path / "resumed.jsonl"
+        self._crash(medium_crawler, plan, out, fail_shards=(0, 2))
+        result = CrawlEngine(
+            medium_crawler, workers=self.WORKERS, shards=self.SHARDS,
+            spool_path=out, checkpoint_path=f"{out}.checkpoint", resume=True,
+        ).execute(plan)
+        assert len(result.records) == len(domains)
+        assert out.read_bytes() == reference.read_bytes()
+
+    def test_serial_checkpointed_run_matches_parallel(
+        self, tmp_path, medium_world, medium_crawler
+    ):
+        """Checkpointing forces per-task id streams even when serial,
+        so a serial checkpointed spool equals the parallel one."""
+        domains = sorted(medium_world.wall_domains)[:4]
+        plan = medium_crawler.plan_cookie_measurements(
+            "DE", domains, mode="accept", repeats=2
+        )
+        serial = tmp_path / "serial.jsonl"
+        parallel = tmp_path / "parallel.jsonl"
+        CrawlEngine(
+            medium_crawler, spool_path=serial,
+            checkpoint_path=f"{serial}.checkpoint",
+        ).execute(plan)
+        CrawlEngine(
+            medium_crawler, workers=4, shards=8, spool_path=parallel,
+            checkpoint_path=f"{parallel}.checkpoint",
+        ).execute(plan)
+        assert serial.read_bytes() == parallel.read_bytes()
+
+    def test_fingerprint_mismatch_refused(
+        self, tmp_path, medium_world, medium_crawler
+    ):
+        targets = self._targets(medium_world, 40)
+        plan = medium_crawler.plan_detection_crawl(["DE"], targets)
+        out = tmp_path / "out.jsonl"
+        self._crash(medium_crawler, plan, out)
+
+        # A different plan (fewer targets) must be refused...
+        other = medium_crawler.plan_detection_crawl(["DE"], targets[:10])
+        engine = CrawlEngine(
+            medium_crawler, workers=self.WORKERS, shards=self.SHARDS,
+            checkpoint_path=f"{out}.checkpoint", resume=True,
+        )
+        with pytest.raises(CheckpointMismatch, match="refusing to resume"):
+            engine.execute(other)
+        # ...and so must the same plan against a different world seed.
+        other_crawler = Crawler(build_world(scale=0.05, seed=8))
+        engine = CrawlEngine(
+            other_crawler, workers=self.WORKERS, shards=self.SHARDS,
+            checkpoint_path=f"{out}.checkpoint", resume=True,
+        )
+        with pytest.raises(CheckpointMismatch):
+            engine.execute(plan)
+
+    def test_resume_without_checkpoint_starts_fresh(
+        self, tmp_path, medium_world, medium_crawler
+    ):
+        plan = medium_crawler.plan_detection_crawl(
+            ["DE"], self._targets(medium_world, 10)
+        )
+        out = tmp_path / "fresh.jsonl"
+        result = CrawlEngine(
+            medium_crawler, spool_path=out,
+            checkpoint_path=f"{out}.checkpoint", resume=True,
+        ).execute(plan)
+        assert result.resumed == 0
+        assert len(result.records) == 10
+
+    def test_torn_checkpoint_line_reruns_that_task(
+        self, tmp_path, medium_world, medium_crawler
+    ):
+        """A writer killed mid-append leaves a torn outcome line; the
+        resume replays every complete line and re-runs the torn one."""
+        targets = self._targets(medium_world, 20)
+        plan = medium_crawler.plan_detection_crawl(["DE"], targets)
+        out = tmp_path / "torn.jsonl"
+        checkpoint = tmp_path / "torn.jsonl.checkpoint"
+        self._crash(medium_crawler, plan, out)
+        whole = checkpoint.read_text(encoding="utf-8")
+        lines = whole.splitlines(keepends=True)
+        complete_outcomes = len(lines) - 1  # minus the header
+        checkpoint.write_text(
+            "".join(lines[:-1]) + lines[-1][: len(lines[-1]) // 2],
+            encoding="utf-8",
+        )
+        with pytest.warns(UserWarning, match="torn trailing line"):
+            result = CrawlEngine(
+                medium_crawler, workers=self.WORKERS, shards=self.SHARDS,
+                spool_path=out, checkpoint_path=checkpoint, resume=True,
+            ).execute(plan)
+        assert result.resumed == complete_outcomes - 1
+        reference = tmp_path / "serial.jsonl"
+        CrawlEngine(medium_crawler, spool_path=reference).execute(plan)
+        assert out.read_bytes() == reference.read_bytes()
+
+    def test_failed_outcomes_are_checkpointed_and_replayed(self, tmp_path):
+        """Permanent failures are part of the checkpoint too: a resume
+        must not re-run tasks that already failed their retries."""
+        world = build_world(scale=0.02, seed=7)
+
+        class DeadCrawler(Crawler):
+            def __init__(self, inner_world):
+                super().__init__(inner_world)
+                self.calls = 0
+
+            def run_task(self, task, context=None, *, visit_ids=None):
+                self.calls += 1
+                raise NetworkError("永 unreachable")
+
+        crawler = DeadCrawler(world)
+        # Three domains per shard, so both the surviving and the killed
+        # shard are non-empty whatever the world's domain names hash to.
+        targets = [
+            d for d in world.crawl_targets if shard_of(d, 2) == 0
+        ][:3] + [
+            d for d in world.crawl_targets if shard_of(d, 2) == 1
+        ][:3]
+        plan = crawler.plan_detection_crawl(["DE"], targets)
+        checkpoint = tmp_path / "dead.checkpoint"
+        # Shard 1 is killed before running; shard 0's tasks all *fail*
+        # (NetworkError, retries exhausted) and checkpoint as failures.
+        engine = CrawlEngine(
+            crawler, retry=RetryPolicy(max_attempts=1),
+            checkpoint_path=checkpoint,
+            executor=FaultInjectingExecutor(2, (1,)),
+            workers=2, shards=2,
+        )
+        with pytest.raises(RuntimeError, match="injected crash"):
+            engine.execute(plan)
+        shard0 = sum(1 for d in targets if shard_of(d, 2) == 0)
+        assert crawler.calls == shard0
+        calls_before = crawler.calls
+
+        resumed = CrawlEngine(
+            crawler, retry=RetryPolicy(max_attempts=1),
+            checkpoint_path=checkpoint, resume=True, workers=2, shards=2,
+        ).execute(plan)
+        # Only the killed shard re-ran; the failed outcomes replayed.
+        assert crawler.calls == calls_before + (len(targets) - shard0)
+        assert resumed.resumed == shard0
+        assert [o.error for o in resumed.outcomes] == [
+            "NetworkError"
+        ] * len(targets)
+
+    def test_plan_fingerprint_stability(self, medium_crawler):
+        plan = medium_crawler.plan_cookie_measurements(
+            "DE", ["a.de", "b.de"], mode="accept", repeats=2
+        )
+        base = plan_fingerprint(plan, world_seed=7)
+        assert plan_fingerprint(plan, world_seed=7) == base
+        assert plan_fingerprint(plan, world_seed=8) != base
+        assert plan_fingerprint(plan, world_seed=7, per_task_ids=False) != base
+        assert plan_fingerprint(plan, world_seed=7, world_evolution=4) != base
+        reordered = CrawlPlan(tasks=list(reversed(plan.tasks)))
+        assert plan_fingerprint(reordered, world_seed=7) != base
+
+    def test_evolved_world_cannot_resume_baseline_checkpoint(
+        self, tmp_path, medium_world, medium_crawler
+    ):
+        """Two snapshots share a seed but not a web: a checkpoint from
+        the baseline must be refused by the evolved world's crawl."""
+        from repro.webgen.evolve import evolve_world
+
+        targets = self._targets(medium_world, 40)
+        plan = medium_crawler.plan_detection_crawl(["DE"], targets)
+        out = tmp_path / "baseline.jsonl"
+        self._crash(medium_crawler, plan, out)
+
+        evolved, _ = evolve_world(medium_world, months=4)
+        engine = CrawlEngine(
+            Crawler(evolved), workers=self.WORKERS, shards=self.SHARDS,
+            checkpoint_path=f"{out}.checkpoint", resume=True,
+        )
+        with pytest.raises(CheckpointMismatch):
+            engine.execute(
+                Crawler(evolved).plan_detection_crawl(["DE"], targets)
+            )
+
+    def test_resume_without_checkpoint_path_rejected(self, medium_crawler):
+        with pytest.raises(ValueError, match="requires a checkpoint_path"):
+            CrawlEngine(medium_crawler, resume=True)
+
+    def test_corrupt_checkpoint_refused_not_crashed(
+        self, tmp_path, medium_world, medium_crawler
+    ):
+        """Mid-file garbage or malformed outcome lines surface as
+        CheckpointMismatch (the CLI's friendly exit), not a traceback."""
+        targets = self._targets(medium_world, 20)
+        plan = medium_crawler.plan_detection_crawl(["DE"], targets)
+        out = tmp_path / "c.jsonl"
+        checkpoint = tmp_path / "c.jsonl.checkpoint"
+        self._crash(medium_crawler, plan, out)
+
+        lines = checkpoint.read_text(encoding="utf-8").splitlines()
+        # Garbage in the middle of the file (not a torn final line).
+        checkpoint.write_text(
+            "\n".join([lines[0], "{not json", *lines[1:]]) + "\n",
+            encoding="utf-8",
+        )
+        engine = CrawlEngine(
+            medium_crawler, checkpoint_path=checkpoint, resume=True,
+        )
+        with pytest.raises(CheckpointMismatch, match="corrupt checkpoint"):
+            engine.execute(plan)
+
+        # An outcome line missing its index is malformed, not fatal.
+        self._crash(medium_crawler, plan, out)
+        lines = checkpoint.read_text(encoding="utf-8").splitlines()
+        checkpoint.write_text(
+            "\n".join([lines[0], '{"kind": "outcome"}', *lines[1:]]) + "\n",
+            encoding="utf-8",
+        )
+        with pytest.raises(CheckpointMismatch, match="corrupt checkpoint"):
+            CrawlEngine(
+                medium_crawler, checkpoint_path=checkpoint, resume=True,
+            ).execute(plan)
+
+    def test_throughput_counts_executed_not_replayed(
+        self, tmp_path, medium_world, medium_crawler
+    ):
+        """A 50%-resumed run must not report double the real rate."""
+        targets = self._targets(medium_world)
+        plan = medium_crawler.plan_detection_crawl(["DE"], targets)
+        out = tmp_path / "t.jsonl"
+        self._crash(medium_crawler, plan, out)
+        log = EventLog()
+        result = CrawlEngine(
+            medium_crawler, workers=self.WORKERS, shards=self.SHARDS,
+            spool_path=out, checkpoint_path=f"{out}.checkpoint",
+            resume=True, event_log=log,
+        ).execute(plan)
+        assert result.executed == len(targets) - result.resumed
+        assert result.tasks_per_sec == pytest.approx(
+            result.executed / result.elapsed
+        )
+        (throughput,) = log.by_kind("throughput")
+        assert throughput.detail["tasks"] == result.executed
+        assert throughput.detail["resumed"] == result.resumed
 
 
 class TestUBlockErrorTracking:

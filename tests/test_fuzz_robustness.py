@@ -6,7 +6,6 @@ produce errors or degraded output — never exceptions other than the
 library's own.
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,6 +1,5 @@
 """Language-identification quality: confusion behaviour across corpora."""
 
-import itertools
 import random
 
 import pytest

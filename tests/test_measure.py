@@ -4,7 +4,6 @@ import pytest
 
 from repro.measure import (
     CookieCounts,
-    Crawler,
     count_cookies,
     load_records,
     save_records,
@@ -262,3 +261,38 @@ class TestStorage:
         iterator = iter_records(path)
         assert next(iterator).domain == "site0.de"
         assert sum(1 for _ in iterator) == 4
+
+    def test_torn_trailing_line_skipped_with_warning(self, tmp_path):
+        """The crash-mid-write case resume depends on: a writer dying
+        mid-append leaves truncated JSON on the last line, which the
+        reader skips (with a warning) instead of raising."""
+        from repro.measure import TornRecordWarning, iter_records
+
+        path = tmp_path / "torn.jsonl"
+        save_records(
+            [VisitRecord(vp="DE", domain=f"site{i}.de") for i in range(3)],
+            path,
+        )
+        whole = path.read_text(encoding="utf-8")
+        path.write_text(whole + whole.splitlines()[0][:37],
+                        encoding="utf-8")
+        with pytest.warns(TornRecordWarning, match="torn trailing line"):
+            records = list(iter_records(path))
+        assert [r.domain for r in records] == [
+            "site0.de", "site1.de", "site2.de",
+        ]
+
+    def test_mid_file_corruption_still_raises(self, tmp_path):
+        """Only the *final* line gets torn-write tolerance; garbage
+        followed by more records is real corruption."""
+        path = tmp_path / "corrupt.jsonl"
+        save_records(
+            [VisitRecord(vp="DE", domain=f"site{i}.de") for i in range(2)],
+            path,
+        )
+        lines = path.read_text(encoding="utf-8").splitlines(keepends=True)
+        path.write_text(
+            lines[0] + lines[1][:25] + "\n" + lines[0], encoding="utf-8"
+        )
+        with pytest.raises(ValueError, match="invalid JSON mid-file"):
+            load_records(path)

@@ -1,6 +1,5 @@
 """Integration tests for the network simulator and browser."""
 
-import json
 
 import pytest
 

@@ -5,7 +5,12 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.measure.crawl import CrawlResult
-from repro.measure.longitudinal import compare_rounds, smp_growth
+from repro.measure.instrumentation import EventLog
+from repro.measure.longitudinal import (
+    compare_rounds,
+    run_longitudinal,
+    smp_growth,
+)
 from repro.measure.records import VisitRecord
 from repro.rng import SeedSequence, derive_seed, stable_shuffle, weighted_choice
 
@@ -130,3 +135,94 @@ class TestLongitudinal:
         growth = smp_growth(world, later)
         assert growth.rosters["contentpass"] == (2, 3)
         assert "+50.0%" in growth.render()
+
+
+class TestRunLongitudinal:
+    """The longitudinal workload, routed through the crawl engine."""
+
+    def test_waves_execute_through_engine_plans(self, medium_world):
+        targets = medium_world.crawl_targets[:80]
+        log = EventLog()
+        campaign = run_longitudinal(
+            medium_world, months=(0, 4), domains=targets,
+            workers=2, shards=4, event_log=log,
+        )
+        assert [w.months for w in campaign.waves] == [0, 4]
+        assert all(len(w.crawl) == len(targets) for w in campaign.waves)
+        # The engine executed one sharded plan per wave — the proof the
+        # workload went through CrawlPlans, not an ad-hoc loop.
+        plans = log.by_kind("plan")
+        assert len(plans) == 2
+        assert all(
+            p.detail == {"tasks": 80, "shards": 4, "workers": 2}
+            for p in plans
+        )
+        assert log.by_kind("shard")
+        assert log.by_kind("throughput")
+
+    def test_baseline_wave_matches_plain_crawl(self, medium_world):
+        from repro.measure.crawl import Crawler
+
+        targets = medium_world.crawl_targets[:60]
+        campaign = run_longitudinal(
+            medium_world, months=(0,), domains=targets, workers=4
+        )
+        plain = Crawler(medium_world).crawl_all(["DE"], targets)
+        assert [r.to_dict() for r in campaign.waves[0].crawl.records] == [
+            r.to_dict() for r in plain.records
+        ]
+        assert campaign.waves[0].summary is None
+
+    def test_drift_summary_and_comparisons(self, medium_world):
+        campaign = run_longitudinal(
+            medium_world, months=(0, 4),
+            domains=medium_world.crawl_targets[:400], workers=4,
+        )
+        later = campaign.waves[1]
+        assert later.summary is not None and later.summary.months == 4
+        (comparison,) = campaign.comparisons()
+        walls0 = set(campaign.waves[0].crawl.cookiewall_domains("DE"))
+        walls4 = set(later.crawl.cookiewall_domains("DE"))
+        assert comparison.walls_round1 == len(walls0)
+        assert comparison.walls_round2 == len(walls4)
+        assert set(comparison.appeared) == walls4 - walls0
+        growth = campaign.roster_growth()
+        assert set(growth.rosters) == set(medium_world.platforms)
+        rendered = campaign.render()
+        assert "month 0 -> month 4" in rendered
+        assert "SMP roster growth" in rendered
+
+    def test_out_dir_spools_and_resumes(self, tmp_path, medium_world):
+        targets = medium_world.crawl_targets[:40]
+        first = run_longitudinal(
+            medium_world, months=(0, 2), domains=targets,
+            workers=2, out_dir=tmp_path,
+        )
+        assert (tmp_path / "wave-00.jsonl").exists()
+        assert (tmp_path / "wave-02.jsonl").exists()
+        assert not (tmp_path / "wave-00.jsonl.checkpoint").exists()
+        # Resuming a finished campaign reloads every complete wave from
+        # its spool instead of re-crawling it.
+        again = run_longitudinal(
+            medium_world, months=(0, 2), domains=targets,
+            workers=2, out_dir=tmp_path, resume=True,
+        )
+        assert [w.resumed for w in again.waves] == [40, 40]
+        for wave, rerun in zip(first.waves, again.waves):
+            assert [r.to_dict() for r in rerun.crawl.records] == [
+                r.to_dict() for r in wave.crawl.records
+            ]
+
+    def test_resume_requires_out_dir(self, medium_world):
+        with pytest.raises(ValueError, match="requires out_dir"):
+            run_longitudinal(medium_world, months=(0,), resume=True)
+
+    def test_invalid_months_rejected(self, medium_world):
+        with pytest.raises(ValueError):
+            run_longitudinal(medium_world, months=())
+        with pytest.raises(ValueError):
+            run_longitudinal(medium_world, months=(4, 0))
+        with pytest.raises(ValueError):
+            run_longitudinal(medium_world, months=(0, 0))
+        with pytest.raises(ValueError):
+            run_longitudinal(medium_world, months=(-1, 2))

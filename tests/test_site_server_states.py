@@ -5,7 +5,6 @@ drives every headline number in the paper; this battery pins each cell
 of the consent × region × subscription matrix.
 """
 
-import pytest
 
 from repro.httpkit import Headers, Request
 from repro.netsim import VisitorContext

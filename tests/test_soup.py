@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.dom import Document, Element, Text, to_html
+from repro.dom import Document, Element, to_html
 from repro.soup import Soup, make_soup, parse_document, parse_fragment
 from repro.soup.tokenizer import decode_entities, tokenize, StartTag, TextToken
 
