@@ -1,20 +1,31 @@
 #!/usr/bin/env python3
-"""Quickstart: build a small synthetic web, detect a cookiewall, accept it.
+"""Quickstart: detect a cookiewall by hand, then run campaigns via repro.api.
 
 Runs in a few seconds::
 
     python examples/quickstart.py
 """
 
+from repro.api import (
+    CrawlSpec,
+    EngineSpec,
+    MeasureSpec,
+    OutputSpec,
+    RunSpec,
+    Session,
+    WorldSpec,
+)
 from repro.bannerclick import BannerClick, accept_banner
-from repro.measure import Crawler, count_cookies
 from repro.httpkit import CookieJar
-from repro.webgen import build_world
+from repro.measure import count_cookies
 
 
 def main() -> None:
-    # 1. Build a 2%-scale world (~1k sites, deterministic).
-    world = build_world(scale=0.02, seed=7)
+    # 1. One Session owns the world (built lazily, cached) and the
+    #    engine configuration every campaign in this script shares.
+    session = Session(WorldSpec(scale=0.02, seed=7),
+                      engine=EngineSpec(workers=2))
+    world = session.world
     print("world:", world.stats())
 
     # 2. Pick a cookiewall site and visit it from the Frankfurt VP.
@@ -24,7 +35,7 @@ def main() -> None:
     page = browser.visit(domain)
     print(f"\nvisited https://{domain}/ from Frankfurt")
 
-    # 3. Run the BannerClick detector.
+    # 3. Run the BannerClick detector on the raw page.
     detector = BannerClick()
     detection = detector.detect(page)
     print(f"banner found:    {detection.found} ({detection.location})")
@@ -41,21 +52,37 @@ def main() -> None:
           f"{counts.third_party} third-party, "
           f"{counts.tracking} tracking cookies")
 
-    # 5. The same site shows no trackers before consent.
-    fresh = CookieJar()
-    browser2 = world.browser("DE", jar=fresh)
-    page2 = browser2.visit(domain)
-    counts2 = count_cookies(fresh, page2.site, world.tracking_list)
-    print(f"without consent: {counts2.first_party} first-party, "
-          f"{counts2.third_party} third-party, "
-          f"{counts2.tracking} tracking cookies")
+    # 5. A whole detection crawl is one session call.
+    crawl = session.crawl(CrawlSpec(vps=("DE",)))
+    walls = sum(1 for r in crawl.iter_records() if r.is_cookiewall)
+    print(f"\ndetection crawl: {crawl.record_count} visits, "
+          f"{walls} cookiewall sightings "
+          f"({crawl.summary()['tasks_per_sec']:.0f} tasks/s)")
 
-    # 6. Convenience: the crawler wraps this whole flow with repeats.
-    crawler = Crawler(world)
-    measurement = crawler.measure_accept_cookies("DE", domain, repeats=5)
-    print(f"\n5-visit average: fp={measurement.avg_first_party:.1f} "
+    # 6. Repeated accept-mode cookie measurements on that one site.
+    measurement = session.measure(
+        MeasureSpec(vp="DE", mode="accept", repeats=5, domains=(domain,))
+    ).records[0]
+    print(f"5-visit average: fp={measurement.avg_first_party:.1f} "
           f"tp={measurement.avg_third_party:.1f} "
           f"tracking={measurement.avg_tracking:.1f}")
+
+    # 7. The same campaign as one serialisable artefact: a RunSpec
+    #    round-trips through dict/TOML/JSON and replays anywhere.
+    spec = RunSpec(
+        kind="measure",
+        world=WorldSpec(scale=0.02, seed=7),
+        engine=EngineSpec(workers=2),
+        measure=MeasureSpec(vp="DE", mode="accept", repeats=5,
+                            domains=(domain,)),
+        output=OutputSpec(),
+    )
+    assert RunSpec.from_dict(spec.to_dict()) == spec
+    replayed = Session(spec).run().records[0]
+    assert replayed.to_dict() == measurement.to_dict()
+    print("\nspec round-trip: RunSpec.from_dict(spec.to_dict()) == spec")
+    print("spec replay:     Session(spec).run() reproduced the "
+          "measurement exactly")
 
 
 if __name__ == "__main__":

@@ -32,6 +32,9 @@ __all__ = [
     "VANTAGE_POINTS",
     "run_experiment",
     "EXPERIMENTS",
+    "RunSpec",
+    "Session",
+    "RunResult",
 ]
 
 
@@ -57,4 +60,8 @@ def __getattr__(name):  # pragma: no cover - thin lazy-import shim
         from repro.experiments import runner as _runner
 
         return getattr(_runner, name)
+    if name in ("RunSpec", "Session", "RunResult"):
+        from repro import api as _api
+
+        return getattr(_api, name)
     raise AttributeError(f"module 'repro' has no attribute {name!r}")

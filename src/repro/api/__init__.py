@@ -1,0 +1,49 @@
+"""repro.api — the unified public entry point.
+
+One campaign, one object: a :class:`RunSpec` describes an entire
+crawl, measurement, or longitudinal run (world, engine, workload,
+output) as a single validating, serialisable artefact; a
+:class:`Session` executes it and hands back a :class:`RunResult`.
+The CLI, the experiment drivers, and the longitudinal campaigns are
+all thin adapters over this package.
+
+>>> from repro.api import RunSpec, Session, WorldSpec
+>>> spec = RunSpec(kind="crawl", world=WorldSpec(scale=0.01, seed=3))
+>>> result = Session(spec).run()          # doctest: +SKIP
+>>> spec == RunSpec.from_dict(spec.to_dict())
+True
+"""
+
+from repro.api.result import RESULT_VERSION, RunFailure, RunResult
+from repro.api.session import Session, iter_run_records, run
+from repro.api.spec import (
+    MEASURE_MODES,
+    RUN_KINDS,
+    CrawlSpec,
+    EngineSpec,
+    LongitudinalSpec,
+    MeasureSpec,
+    OutputSpec,
+    RunSpec,
+    SpecError,
+    WorldSpec,
+)
+
+__all__ = [
+    "CrawlSpec",
+    "EngineSpec",
+    "LongitudinalSpec",
+    "MeasureSpec",
+    "MEASURE_MODES",
+    "OutputSpec",
+    "RESULT_VERSION",
+    "RUN_KINDS",
+    "RunFailure",
+    "RunResult",
+    "RunSpec",
+    "Session",
+    "SpecError",
+    "WorldSpec",
+    "iter_run_records",
+    "run",
+]

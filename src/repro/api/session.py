@@ -1,0 +1,483 @@
+"""The Session facade: one object that owns world, engine, and output.
+
+Every entry point of the project — the CLI subcommands, the
+experiment drivers, the longitudinal campaigns, library embedders —
+funnels through a :class:`Session`.  The session owns world
+construction (lazily, so building a spec never builds a 45k-site
+web), crawler wiring, engine configuration, spooling, and
+checkpointing, and exposes one method per campaign kind plus the
+generic :meth:`Session.run`:
+
+>>> from repro.api import RunSpec, Session, WorldSpec
+>>> spec = RunSpec(kind="crawl", world=WorldSpec(scale=0.01, seed=3))
+>>> result = Session(spec).run()
+>>> result.summary()["kind"]
+'crawl'
+
+Determinism contract: for a fixed world seed, running a spec through
+``Session.run``, through the CLI flags, or through a ``--config``
+file produces byte-identical spooled JSONL — the session is a thin,
+deterministic compiler from spec to engine invocation, never a third
+behaviour.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from pathlib import Path
+from typing import Callable, Dict, Iterable, Optional, Union
+
+from repro.api.result import RunFailure, RunResult
+from repro.api.spec import (
+    CrawlSpec,
+    EngineSpec,
+    LongitudinalSpec,
+    MeasureSpec,
+    OutputSpec,
+    RunSpec,
+    SpecError,
+    WorldSpec,
+)
+from repro.measure.crawl import Crawler, CrawlResult
+from repro.measure.engine import CrawlEngine, CrawlPlan, EngineResult, RetryPolicy
+from repro.measure.instrumentation import EventLog
+from repro.measure.longitudinal import (
+    LongitudinalRun,
+    LongitudinalWave,
+    reload_completed_wave,
+)
+from repro.webgen.evolve import evolve_world
+from repro.webgen.world import World, build_world
+
+#: Raw engine progress hook: ``(done, total, task)`` per completed task.
+ProgressHook = Callable[[int, int, object], None]
+
+
+class Session:
+    """Owns world construction, engine wiring, spooling, checkpointing.
+
+    Parameters
+    ----------
+    world:
+        What to measure: a :class:`RunSpec` (adopts its world and
+        engine sections and becomes the default for :meth:`run`), a
+        :class:`WorldSpec`, an already-built
+        :class:`~repro.webgen.world.World`, or ``None`` for the
+        default small world.  Worlds build lazily on first use and are
+        cached for the session's lifetime.
+    engine:
+        Execution policy (:class:`EngineSpec`); overrides the
+        RunSpec's engine section when both are given.
+    crawler:
+        Override the crawler (tests inject fault-injecting subclasses).
+    retry:
+        Override the :class:`~repro.measure.engine.RetryPolicy`
+        compiled from the engine spec.
+    event_log:
+        Receives the engine's ``plan``/``shard``/``progress``/…
+        events on every run started by this session.
+    progress:
+        Default per-task progress hook ``(done, total, task)`` wired
+        into every engine this session builds — the single event path
+        all entry points share (see
+        :class:`~repro.measure.instrumentation.BatchedProgress` for
+        the batched legacy-callback adapter).
+    spool_dir:
+        Directory for *named* products (``session.execute(plan,
+        name=...)`` spools to ``<spool_dir>/<name>.jsonl``) — the
+        :class:`~repro.experiments.context.ExperimentContext`
+        persistence mode.
+    """
+
+    def __init__(
+        self,
+        world: Union[RunSpec, WorldSpec, World, None] = None,
+        *,
+        engine: Optional[EngineSpec] = None,
+        crawler: Optional[Crawler] = None,
+        retry: Optional[RetryPolicy] = None,
+        event_log: Optional[EventLog] = None,
+        progress: Optional[ProgressHook] = None,
+        spool_dir: Union[str, Path, None] = None,
+    ) -> None:
+        self._default_spec: Optional[RunSpec] = None
+        if isinstance(world, RunSpec):
+            self._default_spec = world.validate()
+            engine = engine if engine is not None else world.engine
+            world = world.world
+        self._world: Optional[World] = None
+        if isinstance(world, World):
+            self._world = world
+            self.world_spec = WorldSpec(
+                scale=world.config.scale, seed=world.config.seed
+            )
+        elif isinstance(world, WorldSpec):
+            self.world_spec = world
+        elif world is None:
+            self.world_spec = WorldSpec()
+        else:
+            raise SpecError(
+                "world must be a RunSpec, WorldSpec, World, or None, "
+                f"got {type(world).__name__}"
+            )
+        self.world_spec.validate()
+        self.engine_spec = engine if engine is not None else EngineSpec()
+        self.engine_spec.validate()
+        self._explicit_retry = retry
+        self.retry = retry if retry is not None else RetryPolicy(
+            max_attempts=self.engine_spec.retry_max_attempts,
+            retry_unreachable=self.engine_spec.retry_unreachable,
+        )
+        self.event_log = event_log
+        self.progress = progress
+        self.spool_dir = Path(spool_dir) if spool_dir is not None else None
+        self._crawler = crawler
+
+    # ------------------------------------------------------------------
+    # Owned resources
+    # ------------------------------------------------------------------
+    @property
+    def world(self) -> World:
+        """The session's world, built on first access and cached."""
+        if self._world is None:
+            self._world = build_world(
+                scale=self.world_spec.scale, seed=self.world_spec.seed
+            )
+        return self._world
+
+    @property
+    def crawler(self) -> Crawler:
+        if self._crawler is None:
+            self._crawler = Crawler(self.world)
+        return self._crawler
+
+    def _with_engine(self, engine: EngineSpec) -> "Session":
+        """A sibling session sharing the world but re-targeted engine.
+
+        An explicitly injected retry policy travels along; a policy
+        that was merely compiled from the old engine spec is rebuilt
+        from the new one.
+        """
+        return Session(
+            self._world if self._world is not None else self.world_spec,
+            engine=engine,
+            crawler=self._crawler,
+            retry=self._explicit_retry,
+            event_log=self.event_log,
+            progress=self.progress,
+            spool_dir=self.spool_dir,
+        )
+
+    # ------------------------------------------------------------------
+    # Engine wiring (the one place spool/checkpoint paths are derived)
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        plan: CrawlPlan,
+        *,
+        name: Optional[str] = None,
+        output: Optional[OutputSpec] = None,
+        spool_path: Union[str, Path, None] = None,
+        checkpoint_path: Union[str, Path, None] = None,
+        crawler: Optional[Crawler] = None,
+        progress: Optional[ProgressHook] = None,
+    ) -> EngineResult:
+        """Run a compiled plan through an engine with this session's
+        configuration.
+
+        The spool path comes from, in order: an explicit *spool_path*,
+        ``output.path``, or ``<spool_dir>/<name>.jsonl``.  A spooled
+        run checkpoints to ``<spool>.checkpoint`` (unless the engine
+        spec disables checkpointing) and honours the engine spec's
+        ``resume``; an in-memory run never checkpoints, which keeps
+        the serial visit-id regime — and therefore byte-identical
+        records — of the pre-session harness.
+        """
+        if spool_path is None and output is not None and output.path:
+            spool_path = output.path
+        if spool_path is None and self.spool_dir is not None and name:
+            spool_path = self.spool_dir / f"{name}.jsonl"
+        if (
+            checkpoint_path is None
+            and spool_path is not None
+            and self.engine_spec.checkpoint
+        ):
+            checkpoint_path = f"{spool_path}.checkpoint"
+        if self.engine_spec.resume and checkpoint_path is None:
+            # Silently re-running everything while the caller believes
+            # the checkpoint was honoured is the one behaviour resume
+            # must never have.
+            raise SpecError(
+                "--resume requires an output path (--out / output.path: "
+                "the checkpoint lives next to the spool)"
+            )
+        engine = CrawlEngine(
+            crawler if crawler is not None else self.crawler,
+            workers=self.engine_spec.workers,
+            shards=self.engine_spec.shards,
+            retry=self.retry,
+            event_log=self.event_log,
+            progress=progress if progress is not None else self.progress,
+            spool_path=spool_path,
+            checkpoint_path=checkpoint_path,
+            resume=self.engine_spec.resume and checkpoint_path is not None,
+        )
+        return engine.execute(plan)
+
+    # ------------------------------------------------------------------
+    # Campaigns
+    # ------------------------------------------------------------------
+    def crawl(
+        self,
+        spec: Optional[CrawlSpec] = None,
+        *,
+        output: Optional[OutputSpec] = None,
+        progress: Optional[ProgressHook] = None,
+    ) -> RunResult:
+        """Run a multi-vantage-point detection crawl."""
+        spec = spec if spec is not None else CrawlSpec()
+        spec.validate()
+        output = output if output is not None else OutputSpec()
+        plan = self.crawler.plan_detection_crawl(
+            list(spec.vps) if spec.vps is not None else None,
+            list(spec.domains) if spec.domains is not None else None,
+        )
+        result = self.execute(plan, output=output, progress=progress)
+        return self._result("crawl", {"crawl": spec}, output, result)
+
+    def measure(
+        self,
+        spec: Optional[MeasureSpec] = None,
+        *,
+        output: Optional[OutputSpec] = None,
+        progress: Optional[ProgressHook] = None,
+    ) -> RunResult:
+        """Run cookie or uBlock measurements (``spec.mode``).
+
+        With ``spec.domains=None`` the targets are the cookiewall
+        domains a fresh in-memory detection crawl from ``spec.vp``
+        finds — the same pre-pass the CLI has always run.
+        """
+        spec = spec if spec is not None else MeasureSpec()
+        spec.validate()
+        output = output if output is not None else OutputSpec()
+        domains = list(spec.domains) if spec.domains is not None else None
+        if domains is None:
+            # The in-memory pre-pass never spools, so it must not run
+            # under resume (which requires a checkpoint); only the
+            # measurement plan itself resumes.
+            finder = (
+                self._with_engine(
+                    dataclasses.replace(self.engine_spec, resume=False)
+                )
+                if self.engine_spec.resume else self
+            )
+            detection = finder.crawl(CrawlSpec(vps=(spec.vp,)))
+            domains = CrawlResult(
+                records=detection.records
+            ).cookiewall_domains()
+        if spec.mode == "ublock":
+            plan = self.crawler.plan_ublock(
+                spec.vp, domains, iterations=spec.repeats
+            )
+        else:
+            plan = self.crawler.plan_cookie_measurements(
+                spec.vp, domains, mode=spec.mode, repeats=spec.repeats
+            )
+        result = self.execute(plan, output=output, progress=progress)
+        return self._result("measure", {"measure": spec}, output, result)
+
+    def longitudinal(
+        self,
+        spec: Optional[LongitudinalSpec] = None,
+        *,
+        output: Optional[OutputSpec] = None,
+        progress: Optional[ProgressHook] = None,
+    ) -> RunResult:
+        """Crawl the world and its evolved snapshots, wave by wave.
+
+        Every wave detection-crawls the same target list (defaulting
+        to the baseline world's reachable union) against an
+        :func:`~repro.webgen.evolve.evolve_world` snapshot, through an
+        engine configured by this session — so the campaign shards,
+        parallelises, retries, spools, and resumes like any crawl.
+        The returned result's :attr:`~RunResult.campaign` is the live
+        :class:`~repro.measure.longitudinal.LongitudinalRun`.
+        """
+        spec = spec if spec is not None else LongitudinalSpec()
+        spec.validate()
+        output = output if output is not None else OutputSpec()
+        out_dir = Path(output.out_dir) if output.out_dir else None
+        if self.engine_spec.resume and out_dir is None:
+            raise SpecError(
+                "longitudinal resume requires out_dir (the wave "
+                "checkpoints live next to the spools)"
+            )
+        base_world = self.world
+        targets = (
+            list(spec.domains) if spec.domains is not None
+            else list(base_world.crawl_targets)
+        )
+        run = LongitudinalRun(vp=spec.vp)
+        spool_paths = []
+        failures = []
+        elapsed = 0.0
+        executed = 0
+        resumed = 0
+        for month in spec.months:
+            if month == 0:
+                wave_world, summary = base_world, None
+            else:
+                wave_world, summary = evolve_world(base_world, months=month)
+            crawler = Crawler(wave_world)
+            plan = crawler.plan_detection_crawl([spec.vp], targets)
+            spool_path = checkpoint_path = None
+            if out_dir is not None:
+                spool_path = out_dir / f"wave-{month:02d}.jsonl"
+                spool_paths.append(spool_path)
+                if self.engine_spec.checkpoint:
+                    checkpoint_path = Path(f"{spool_path}.checkpoint")
+            if self.engine_spec.resume:
+                replayed = reload_completed_wave(
+                    spool_path, checkpoint_path, plan
+                )
+                if replayed is not None:
+                    run.waves.append(LongitudinalWave(
+                        months=month,
+                        world=wave_world,
+                        crawl=CrawlResult(records=replayed),
+                        summary=summary,
+                        resumed=len(replayed),
+                    ))
+                    resumed += len(replayed)
+                    continue
+            result = self.execute(
+                plan,
+                spool_path=spool_path,
+                checkpoint_path=checkpoint_path,
+                crawler=crawler,
+                progress=progress,
+            )
+            run.waves.append(LongitudinalWave(
+                months=month,
+                world=wave_world,
+                crawl=CrawlResult(records=result.records),
+                summary=summary,
+                resumed=result.resumed,
+            ))
+            failures.extend(
+                self._failure(o, wave=month) for o in result.failures
+            )
+            elapsed += result.elapsed
+            executed += result.executed
+            resumed += result.resumed
+        records = [r for wave in run.waves for r in wave.crawl.records]
+        return RunResult(
+            self._spec("longitudinal", {"longitudinal": spec}, output),
+            records=records,
+            spool_paths=spool_paths,
+            failures=failures,
+            elapsed=elapsed,
+            executed=executed,
+            resumed=resumed,
+            record_count=len(records),
+            campaign=run,
+            extra={"waves": [
+                {
+                    "months": wave.months,
+                    "visits": len(wave.crawl),
+                    "cookiewall_domains": len(
+                        wave.crawl.cookiewall_domains(spec.vp)
+                    ),
+                    "resumed": wave.resumed,
+                }
+                for wave in run.waves
+            ]},
+        )
+
+    def run(self, spec: Optional[RunSpec] = None) -> RunResult:
+        """Execute a full :class:`RunSpec` (kind-dispatched).
+
+        With no argument the session's construction spec runs under
+        the session's own engine configuration (the
+        ``Session(spec).run()`` idiom — an explicit ``engine=``
+        constructor override stays in force, as promised there).  For
+        a spec passed *in*, that spec's engine section is
+        authoritative: different engine settings run through a sibling
+        session sharing the same (already-built) world.  A spec for a
+        *different* world is refused — worlds are expensive; build a
+        new session for one.
+        """
+        external = spec is not None
+        spec = spec if spec is not None else self._default_spec
+        if spec is None:
+            raise SpecError(
+                "nothing to run: pass a RunSpec, or build the session "
+                "from one (Session(spec).run())"
+            )
+        spec.validate()
+        if spec.world != self.world_spec:
+            raise SpecError(
+                f"spec.world {spec.world} differs from this session's "
+                f"{self.world_spec}; create a new Session for it"
+            )
+        if external and spec.engine != self.engine_spec:
+            return self._with_engine(spec.engine).run(spec)
+        if spec.kind == "crawl":
+            return self.crawl(spec.crawl, output=spec.output)
+        if spec.kind == "measure":
+            return self.measure(spec.measure, output=spec.output)
+        return self.longitudinal(spec.longitudinal, output=spec.output)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _failure(outcome, *, wave: Optional[int] = None) -> RunFailure:
+        return RunFailure(
+            index=outcome.index,
+            vp=outcome.task.vp,
+            domain=outcome.task.domain,
+            mode=outcome.task.mode,
+            error=outcome.error,
+            attempts=outcome.attempts,
+            wave=wave,
+        )
+
+    def _spec(
+        self, kind: str, sections: Dict[str, object], output: OutputSpec
+    ) -> RunSpec:
+        return RunSpec(
+            kind=kind,
+            world=self.world_spec,
+            engine=self.engine_spec,
+            output=output,
+            **sections,
+        )
+
+    def _result(
+        self,
+        kind: str,
+        sections: Dict[str, object],
+        output: OutputSpec,
+        result: EngineResult,
+    ) -> RunResult:
+        records = result.records
+        return RunResult(
+            self._spec(kind, sections, output),
+            records=records,
+            spool_paths=(output.path,) if output.path else (),
+            failures=[self._failure(o) for o in result.failures],
+            elapsed=result.elapsed,
+            executed=result.executed,
+            resumed=result.resumed,
+            record_count=len(records),
+        )
+
+
+def run(spec: RunSpec) -> RunResult:
+    """One-shot convenience: ``Session(spec).run()``."""
+    return Session(spec).run()
+
+
+def iter_run_records(manifest: Union[str, Path]) -> Iterable:
+    """Stream the records of a saved :class:`RunResult` manifest."""
+    return RunResult.load(manifest).iter_records()

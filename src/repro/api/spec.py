@@ -1,0 +1,393 @@
+"""The declarative run description: one serialisable object per campaign.
+
+The paper's pipeline is one conceptual experiment — crawl vantage
+points, detect accept-or-pay walls, measure cookies with and without
+consent, compare against uBlock — but until this package the
+configuration surface was fractured across ``Crawler`` arguments,
+``CrawlEngine`` kwargs, ``ExperimentContext``, ``run_longitudinal``
+and ~20 argparse flags.  A :class:`RunSpec` collapses all of that into
+a single typed, validating, serialisable tree:
+
+- :class:`WorldSpec` — which synthetic web (seed, scale).
+- :class:`EngineSpec` — how to execute (workers, shards, retry,
+  checkpointing, resume).
+- :class:`CrawlSpec` / :class:`MeasureSpec` /
+  :class:`LongitudinalSpec` — what to measure (exactly one of them,
+  selected by ``RunSpec.kind``).
+- :class:`OutputSpec` — where the records go (JSONL spool path, or a
+  wave directory for longitudinal campaigns).
+
+A spec round-trips losslessly: ``RunSpec.from_dict(spec.to_dict()) ==
+spec``, and :meth:`RunSpec.load` reads the same structure from a TOML
+or JSON config file, so an entire campaign (including its resume
+behaviour) is one artefact that can be saved, diffed, and replayed.
+
+>>> spec = RunSpec(kind="crawl", world=WorldSpec(scale=0.01, seed=3))
+>>> RunSpec.from_dict(spec.to_dict()) == spec
+True
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field, fields
+from pathlib import Path
+from typing import Dict, Mapping, Optional, Tuple, Union
+
+#: Campaign kinds a :class:`RunSpec` can describe, and the section
+#: holding each kind's workload settings.
+RUN_KINDS = ("crawl", "measure", "longitudinal")
+
+#: Cookie/uBlock measurement modes (`MeasureSpec.mode`).
+MEASURE_MODES = ("accept", "reject", "ublock")
+
+
+class SpecError(ValueError):
+    """A run spec (or config file) is structurally invalid."""
+
+
+def _tuple_or_none(value) -> Optional[tuple]:
+    """Normalise a config sequence to a tuple (``None`` passes through)."""
+    if value is None:
+        return None
+    if isinstance(value, (str, bytes)):
+        raise SpecError(
+            f"expected a list, got the string {value!r} "
+            "(write it as a one-element list)"
+        )
+    return tuple(value)
+
+
+def _check_fields(cls, data: Mapping, where: str) -> None:
+    known = {f.name for f in fields(cls)}
+    unknown = sorted(set(data) - known)
+    if unknown:
+        raise SpecError(
+            f"{where}: unknown key(s) {', '.join(unknown)} "
+            f"(known: {', '.join(sorted(known))})"
+        )
+
+
+@dataclass(frozen=True)
+class WorldSpec:
+    """Which synthetic web to build (`repro.webgen.build_world`)."""
+
+    #: Fraction of the paper's 45k-site web; ``1.0`` is paper scale.
+    scale: float = 0.05
+    seed: int = 2023
+
+    def validate(self) -> None:
+        if not 0 < self.scale <= 1.0:
+            raise SpecError(f"world.scale must be in (0, 1], got {self.scale}")
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "WorldSpec":
+        _check_fields(cls, data, "world")
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class EngineSpec:
+    """How the crawl engine executes the plan."""
+
+    workers: int = 1
+    #: ``None`` keeps the engine default (1 serial, 4 × workers parallel).
+    shards: Optional[int] = None
+    retry_max_attempts: int = 2
+    retry_unreachable: bool = False
+    #: Checkpoint every run that has a spool path (``<out>.checkpoint``).
+    checkpoint: bool = True
+    resume: bool = False
+
+    def validate(self) -> None:
+        if self.workers < 1:
+            raise SpecError(f"engine.workers must be >= 1, got {self.workers}")
+        if self.shards is not None and self.shards < 1:
+            raise SpecError(f"engine.shards must be >= 1, got {self.shards}")
+        if self.retry_max_attempts < 1:
+            raise SpecError(
+                "engine.retry_max_attempts must be >= 1, "
+                f"got {self.retry_max_attempts}"
+            )
+        if self.resume and not self.checkpoint:
+            raise SpecError("engine.resume requires engine.checkpoint")
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "EngineSpec":
+        _check_fields(cls, data, "engine")
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class CrawlSpec:
+    """A multi-vantage-point detection crawl."""
+
+    #: Vantage point codes; ``None`` crawls all eight.
+    vps: Optional[Tuple[str, ...]] = None
+    #: Target domains; ``None`` crawls the world's reachable union.
+    domains: Optional[Tuple[str, ...]] = None
+
+    def validate(self) -> None:
+        if self.vps is not None and not self.vps:
+            raise SpecError("crawl.vps must name at least one vantage point")
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "CrawlSpec":
+        _check_fields(cls, data, "crawl")
+        return cls(
+            vps=_tuple_or_none(data.get("vps")),
+            domains=_tuple_or_none(data.get("domains")),
+        )
+
+
+@dataclass(frozen=True)
+class MeasureSpec:
+    """Repeated cookie or uBlock measurements on wall domains."""
+
+    vp: str = "DE"
+    mode: str = "accept"
+    repeats: int = 5
+    #: ``None`` measures the wall domains a fresh detection crawl finds.
+    domains: Optional[Tuple[str, ...]] = None
+
+    def validate(self) -> None:
+        if self.mode not in MEASURE_MODES:
+            raise SpecError(
+                f"measure.mode must be one of {', '.join(MEASURE_MODES)}, "
+                f"got {self.mode!r}"
+            )
+        if self.repeats < 1:
+            raise SpecError(f"measure.repeats must be >= 1, got {self.repeats}")
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "MeasureSpec":
+        _check_fields(cls, data, "measure")
+        out = dict(data)
+        out["domains"] = _tuple_or_none(data.get("domains"))
+        return cls(**out)
+
+
+@dataclass(frozen=True)
+class LongitudinalSpec:
+    """Re-crawls of the same targets against evolved world snapshots."""
+
+    vp: str = "DE"
+    #: Wave offsets in months; 0 is the baseline snapshot.
+    months: Tuple[int, ...] = (0, 4)
+    domains: Optional[Tuple[str, ...]] = None
+
+    def validate(self) -> None:
+        months = list(self.months)
+        if not months:
+            raise SpecError("longitudinal.months must name at least one wave")
+        if sorted(months) != months or len(set(months)) != len(months):
+            raise SpecError("months must be strictly increasing")
+        if months[0] < 0:
+            raise SpecError("months must be >= 0")
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "LongitudinalSpec":
+        _check_fields(cls, data, "longitudinal")
+        out = dict(data)
+        if out.get("months") is None:
+            out.pop("months", None)    # explicit null keeps the default
+        else:
+            out["months"] = _tuple_or_none(out["months"])
+        out["domains"] = _tuple_or_none(data.get("domains"))
+        return cls(**out)
+
+
+@dataclass(frozen=True)
+class OutputSpec:
+    """Where records go (all optional: no path means in-memory only)."""
+
+    #: JSONL spool for ``crawl``/``measure`` records.
+    path: Optional[str] = None
+    #: Wave directory for ``longitudinal`` (``wave-<MM>.jsonl`` files).
+    out_dir: Optional[str] = None
+
+    def validate(self) -> None:
+        pass
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "OutputSpec":
+        _check_fields(cls, data, "output")
+        return cls(**data)
+
+
+#: ``RunSpec`` section name -> section class, in serialisation order.
+_SECTIONS = {
+    "world": WorldSpec,
+    "engine": EngineSpec,
+    "crawl": CrawlSpec,
+    "measure": MeasureSpec,
+    "longitudinal": LongitudinalSpec,
+    "output": OutputSpec,
+}
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One complete, replayable campaign description.
+
+    Exactly one workload section is *active*, selected by ``kind``;
+    the other workload sections may be present (e.g. a config file
+    describing several campaigns' settings) but are ignored and — for
+    canonical equality — dropped from :meth:`to_dict`.
+    """
+
+    kind: str
+    world: WorldSpec = field(default_factory=WorldSpec)
+    engine: EngineSpec = field(default_factory=EngineSpec)
+    crawl: CrawlSpec = field(default_factory=CrawlSpec)
+    measure: MeasureSpec = field(default_factory=MeasureSpec)
+    longitudinal: LongitudinalSpec = field(default_factory=LongitudinalSpec)
+    output: OutputSpec = field(default_factory=OutputSpec)
+
+    # ------------------------------------------------------------------
+    def validate(self) -> "RunSpec":
+        """Check the whole tree; returns self so calls can chain."""
+        if self.kind not in RUN_KINDS:
+            raise SpecError(
+                f"kind must be one of {', '.join(RUN_KINDS)}, got {self.kind!r}"
+            )
+        self.world.validate()
+        self.engine.validate()
+        self.workload.validate()
+        self.output.validate()
+        if self.engine.resume:
+            # The messages name the CLI flags: the output section's
+            # fields map 1:1 onto them, and the CLI surfaces these
+            # errors verbatim.
+            if self.kind == "longitudinal" and self.output.out_dir is None:
+                raise SpecError(
+                    "longitudinal --resume requires --out-dir "
+                    "(output.out_dir: the checkpoints live next to the "
+                    "wave spools)"
+                )
+            if self.kind != "longitudinal" and self.output.path is None:
+                raise SpecError(
+                    "--resume requires an output path (--out / "
+                    "output.path: the checkpoint lives next to the spool)"
+                )
+        return self
+
+    @property
+    def workload(self):
+        """The active workload section (selected by ``kind``)."""
+        return getattr(self, self.kind)
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """The canonical nested-dict form (inactive workloads omitted)."""
+        out: Dict[str, object] = {"kind": self.kind}
+        for name in ("world", "engine", self.kind, "output"):
+            out[name] = dataclasses.asdict(getattr(self, name))
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping, *, kind: Optional[str] = None) -> "RunSpec":
+        """Rebuild a spec from :meth:`to_dict` output (or a config file).
+
+        *kind* supplies the campaign kind when the mapping omits it
+        (a config file meant to be used as ``repro <kind> --config``);
+        when both are present they must agree.
+        """
+        if not isinstance(data, Mapping):
+            raise SpecError(f"run spec must be a mapping, got {type(data).__name__}")
+        file_kind = data.get("kind")
+        if file_kind is not None and kind is not None and file_kind != kind:
+            raise SpecError(
+                f"config file describes a {file_kind!r} run, "
+                f"but a {kind!r} run was requested"
+            )
+        resolved_kind = file_kind or kind
+        if resolved_kind is None:
+            raise SpecError("run spec needs a 'kind' (crawl/measure/longitudinal)")
+        unknown = sorted(set(data) - set(_SECTIONS) - {"kind"})
+        if unknown:
+            raise SpecError(
+                f"unknown section(s) {', '.join(unknown)} "
+                f"(known: kind, {', '.join(_SECTIONS)})"
+            )
+        sections = {}
+        for name, section_cls in _SECTIONS.items():
+            payload = data.get(name)
+            if payload is None:
+                sections[name] = section_cls()
+            else:
+                if not isinstance(payload, Mapping):
+                    raise SpecError(f"section {name!r} must be a table/mapping")
+                sections[name] = section_cls.from_dict(payload)
+        return cls(kind=resolved_kind, **sections).validate()
+
+    def override(self, overrides: Mapping[str, Mapping]) -> "RunSpec":
+        """A copy with *overrides* (nested section -> field maps) applied.
+
+        This is the CLI precedence rule: values from a config file are
+        the base, explicitly supplied flags win.  Only fields present
+        in *overrides* change.
+        """
+        _check = set(overrides) - set(_SECTIONS)
+        if _check:
+            raise SpecError(f"override names unknown section(s) {sorted(_check)}")
+        replaced = {}
+        for name, values in overrides.items():
+            if not values:
+                continue
+            section = getattr(self, name)
+            _check_fields(type(section), values, name)
+            replaced[name] = dataclasses.replace(section, **values)
+        return dataclasses.replace(self, **replaced).validate()
+
+    # ------------------------------------------------------------------
+    # Config files
+    # ------------------------------------------------------------------
+    @classmethod
+    def load(cls, path: Union[str, Path], *, kind: Optional[str] = None) -> "RunSpec":
+        """Load a spec from a ``.toml`` or ``.json`` config file.
+
+        The file holds the :meth:`to_dict` structure; ``kind`` may be
+        omitted in the file and supplied by the caller (the CLI passes
+        the subcommand).  TOML cannot express ``null`` — simply omit a
+        key to keep its default.
+        """
+        path = Path(path)
+        try:
+            raw = path.read_bytes()
+        except OSError as error:
+            raise SpecError(f"cannot read config {path}: {error}") from error
+        if path.suffix.lower() == ".json":
+            try:
+                data = json.loads(raw.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as error:
+                raise SpecError(f"{path}: invalid JSON ({error})") from error
+        elif path.suffix.lower() == ".toml":
+            import tomllib
+
+            try:
+                data = tomllib.loads(raw.decode("utf-8"))
+            except (UnicodeDecodeError, tomllib.TOMLDecodeError) as error:
+                raise SpecError(f"{path}: invalid TOML ({error})") from error
+        else:
+            raise SpecError(
+                f"{path}: unsupported config suffix {path.suffix!r} "
+                "(use .toml or .json)"
+            )
+        try:
+            return cls.from_dict(data, kind=kind)
+        except SpecError as error:
+            raise SpecError(f"{path}: {error}") from error
+
+    def save(self, path: Union[str, Path]) -> Path:
+        """Write the spec as JSON (the ``load``-able canonical form)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        return path

@@ -1,5 +1,13 @@
 """Command-line interface: ``repro-cookiewalls``.
 
+The engine-backed subcommands (``crawl``, ``measure``,
+``longitudinal``) are thin adapters over :mod:`repro.api`: argv is
+compiled into a :class:`~repro.api.RunSpec` (optionally seeded from a
+``--config`` TOML/JSON file, with explicitly given flags overriding
+file values) and executed through a :class:`~repro.api.Session` — the
+same code path as the library API, so flag runs, config runs, and
+programmatic runs produce byte-identical output.
+
 Examples
 --------
 List available experiments::
@@ -10,9 +18,14 @@ Run one experiment on a small world and print the artefact::
 
     repro-cookiewalls run table1 --scale 0.05
 
-Show the generated world's ground-truth statistics::
+Describe a campaign in a config file, inspect it, run it::
 
-    repro-cookiewalls stats --scale 0.05
+    repro-cookiewalls spec crawl --config run.toml
+    repro-cookiewalls crawl --config run.toml --workers 8
+
+Compact a long-lived crawl checkpoint in place::
+
+    repro-cookiewalls checkpoint compact crawl.jsonl.checkpoint
 """
 
 from __future__ import annotations
@@ -25,15 +38,8 @@ from typing import List, Optional
 from repro.experiments import EXPERIMENTS, ExperimentContext, run_experiment
 from repro.webgen import build_world
 
-
-def _add_world_args(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument(
-        "--scale", type=float, default=0.05,
-        help="world scale (1.0 = the paper's 45k-site web; default 0.05)",
-    )
-    parser.add_argument(
-        "--seed", type=int, default=2023, help="world seed (default 2023)"
-    )
+#: Subcommands that compile argv into a RunSpec.
+_SPEC_COMMANDS = ("crawl", "measure", "longitudinal")
 
 
 def _positive_int(value: str) -> int:
@@ -43,22 +49,115 @@ def _positive_int(value: str) -> int:
     return count
 
 
+# ---------------------------------------------------------------------------
+# Flag groups.  Spec-backed subcommands use SUPPRESS defaults so the
+# compiler can tell an explicitly given flag (which must override the
+# config file) from an omitted one (where the file/spec default wins).
+# ---------------------------------------------------------------------------
+
+def _add_world_args(parser: argparse.ArgumentParser, *, spec_mode: bool = False) -> None:
+    suppress = argparse.SUPPRESS
+    parser.add_argument(
+        "--scale", type=float, default=suppress if spec_mode else 0.05,
+        help="world scale (1.0 = the paper's 45k-site web; default 0.05)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=suppress if spec_mode else 2023,
+        help="world seed (default 2023)",
+    )
+
+
 def _add_engine_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
-        "--workers", type=_positive_int, default=1,
+        "--workers", type=_positive_int, default=argparse.SUPPRESS,
         help="crawl-engine worker threads (default 1 = serial)",
     )
     parser.add_argument(
-        "--shards", type=_positive_int, default=None,
+        "--shards", type=_positive_int, default=argparse.SUPPRESS,
         help="crawl-engine shard count (default: 1 serial, 4x workers "
              "parallel; tasks are sharded by a stable domain hash)",
     )
     parser.add_argument(
-        "--resume", action="store_true",
+        "--resume", action="store_true", default=argparse.SUPPRESS,
         help="resume an interrupted run from its checkpoint "
              "(<out>.checkpoint); refuses when the checkpoint fingerprint "
              "does not match the plan/world/config",
     )
+    parser.add_argument(
+        "--config", metavar="FILE", default=argparse.SUPPRESS,
+        help="load a run spec from a TOML or JSON config file; flags "
+             "given explicitly override the file's values",
+    )
+
+
+def _add_crawl_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--vp", action="append", default=argparse.SUPPRESS,
+        help="vantage point code (repeatable; default: all)",
+    )
+    parser.add_argument(
+        "--out", default=argparse.SUPPRESS,
+        help="output JSONL path (required unless the config supplies "
+             "output.path)",
+    )
+
+
+def _add_measure_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--vp", default=argparse.SUPPRESS,
+        help="vantage point code (default: DE)",
+    )
+    parser.add_argument(
+        "--mode", choices=("accept", "reject", "ublock"),
+        default=argparse.SUPPRESS,
+        help="measurement mode (default: accept)",
+    )
+    parser.add_argument(
+        "--repeats", type=_positive_int, default=argparse.SUPPRESS,
+        help="visits per domain (default 5, the paper's methodology)",
+    )
+    parser.add_argument(
+        "--domain", action="append", default=argparse.SUPPRESS,
+        help="target domain (repeatable; default: detected wall domains "
+             "from a fresh detection crawl)",
+    )
+    parser.add_argument(
+        "--out", default=argparse.SUPPRESS,
+        help="output JSONL path (required unless the config supplies "
+             "output.path)",
+    )
+
+
+def _add_longitudinal_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--vp", default=argparse.SUPPRESS,
+        help="vantage point code (default: DE)",
+    )
+    parser.add_argument(
+        "--month", action="append", type=int, default=argparse.SUPPRESS,
+        dest="months",
+        help="wave offset in months, repeatable and increasing; 0 is the "
+             "baseline snapshot (default: 0 and 4, the paper's May/Sept gap)",
+    )
+    parser.add_argument(
+        "--out-dir", default=argparse.SUPPRESS,
+        help="spool each wave to <dir>/wave-<MM>.jsonl with a resumable "
+             "checkpoint alongside",
+    )
+
+
+_WORKLOAD_ARGS = {
+    "crawl": _add_crawl_args,
+    "measure": _add_measure_args,
+    "longitudinal": _add_longitudinal_args,
+}
+
+
+def _add_spec_surface(parser: argparse.ArgumentParser, kind: str) -> None:
+    """The full flag surface of one spec-backed subcommand."""
+    _add_world_args(parser, spec_mode=True)
+    _add_engine_args(parser)
+    _WORKLOAD_ARGS[kind](parser)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -87,55 +186,46 @@ def build_parser() -> argparse.ArgumentParser:
     crawl = sub.add_parser(
         "crawl", help="run a detection crawl and save JSONL records"
     )
-    _add_world_args(crawl)
-    _add_engine_args(crawl)
-    crawl.add_argument("--vp", action="append", default=None,
-                       help="vantage point code (repeatable; default: all)")
-    crawl.add_argument("--out", required=True, help="output JSONL path")
+    _add_spec_surface(crawl, "crawl")
 
     measure = sub.add_parser(
         "measure",
         help="run cookie/uBlock measurements through the crawl engine, "
              "streaming JSONL records shard-by-shard",
     )
-    _add_world_args(measure)
-    _add_engine_args(measure)
-    measure.add_argument("--vp", default="DE",
-                         help="vantage point code (default: DE)")
-    measure.add_argument(
-        "--mode", choices=("accept", "reject", "ublock"), default="accept",
-        help="measurement mode (default: accept)",
-    )
-    measure.add_argument(
-        "--repeats", type=_positive_int, default=5,
-        help="visits per domain (default 5, the paper's methodology)",
-    )
-    measure.add_argument(
-        "--domain", action="append", default=None,
-        help="target domain (repeatable; default: detected wall domains "
-             "from a fresh detection crawl)",
-    )
-    measure.add_argument("--out", required=True, help="output JSONL path")
+    _add_spec_surface(measure, "measure")
 
     longitudinal = sub.add_parser(
         "longitudinal",
         help="re-crawl the same targets against evolved world snapshots "
              "(waves through the crawl engine) and report the drift",
     )
-    _add_world_args(longitudinal)
-    _add_engine_args(longitudinal)
-    longitudinal.add_argument("--vp", default="DE",
-                              help="vantage point code (default: DE)")
-    longitudinal.add_argument(
-        "--month", action="append", type=int, default=None, dest="months",
-        help="wave offset in months, repeatable and increasing; 0 is the "
-             "baseline snapshot (default: 0 and 4, the paper's May/Sept gap)",
+    _add_spec_surface(longitudinal, "longitudinal")
+
+    spec = sub.add_parser(
+        "spec",
+        help="resolve a run spec (config file + flags) and print it "
+             "without running anything",
     )
-    longitudinal.add_argument(
-        "--out-dir", default=None,
-        help="spool each wave to <dir>/wave-<MM>.jsonl with a resumable "
-             "checkpoint alongside",
+    spec_sub = spec.add_subparsers(dest="spec_kind", required=True)
+    for kind in _SPEC_COMMANDS:
+        kind_parser = spec_sub.add_parser(
+            kind, help=f"resolve and print a '{kind}' run spec"
+        )
+        _add_spec_surface(kind_parser, kind)
+
+    checkpoint = sub.add_parser(
+        "checkpoint", help="crawl-checkpoint file maintenance"
     )
+    checkpoint_sub = checkpoint.add_subparsers(
+        dest="checkpoint_command", required=True
+    )
+    compact = checkpoint_sub.add_parser(
+        "compact",
+        help="rewrite an append-only checkpoint keeping only the latest "
+             "outcome per task (header and resumability preserved)",
+    )
+    compact.add_argument("path", help="checkpoint file (<out>.checkpoint)")
 
     report = sub.add_parser(
         "report", help="summarise saved crawl records (walls per VP)"
@@ -166,6 +256,100 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+# ---------------------------------------------------------------------------
+# argv -> RunSpec
+# ---------------------------------------------------------------------------
+
+def _compile_spec(kind: str, args: argparse.Namespace):
+    """Compile parsed argv into a validated RunSpec.
+
+    Precedence: spec defaults < ``--config`` file values < explicitly
+    given flags.  SUPPRESS defaults make "explicitly given" knowable —
+    an absent attribute means the flag was omitted.
+    """
+    from repro.api import RunSpec
+
+    config = getattr(args, "config", None)
+    base = RunSpec.load(config, kind=kind) if config else RunSpec(kind=kind)
+    given = lambda name: hasattr(args, name)  # noqa: E731
+    overrides = {"world": {}, "engine": {}, kind: {}, "output": {}}
+    if given("scale"):
+        overrides["world"]["scale"] = args.scale
+    if given("seed"):
+        overrides["world"]["seed"] = args.seed
+    if given("workers"):
+        overrides["engine"]["workers"] = args.workers
+    if given("shards"):
+        overrides["engine"]["shards"] = args.shards
+    if given("resume"):
+        overrides["engine"]["resume"] = True
+    if kind == "crawl":
+        if given("vp"):
+            overrides["crawl"]["vps"] = tuple(args.vp)
+        if given("out"):
+            overrides["output"]["path"] = args.out
+    elif kind == "measure":
+        if given("vp"):
+            overrides["measure"]["vp"] = args.vp
+        if given("mode"):
+            overrides["measure"]["mode"] = args.mode
+        if given("repeats"):
+            overrides["measure"]["repeats"] = args.repeats
+        if given("domain"):
+            overrides["measure"]["domains"] = tuple(args.domain)
+        if given("out"):
+            overrides["output"]["path"] = args.out
+    else:
+        if given("vp"):
+            overrides["longitudinal"]["vp"] = args.vp
+        if given("months"):
+            overrides["longitudinal"]["months"] = tuple(args.months)
+        if given("out_dir"):
+            overrides["output"]["out_dir"] = args.out_dir
+    return base.override(overrides)
+
+
+def _run_spec_command(kind: str, args: argparse.Namespace) -> int:
+    """Compile and execute one spec-backed subcommand via a Session."""
+    from repro.api import Session, SpecError
+    from repro.measure import CheckpointMismatch
+    from repro.measure.crawl import CrawlResult
+
+    try:
+        spec = _compile_spec(kind, args)
+    except SpecError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if kind in ("crawl", "measure") and not spec.output.path:
+        print(
+            "error: an output path is required (--out, or output.path "
+            "in --config)", file=sys.stderr,
+        )
+        return 2
+    try:
+        result = Session(spec).run()
+    except CheckpointMismatch as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    resumed = (
+        f", {result.resumed} replayed from checkpoint"
+        if result.resumed else ""
+    )
+    if kind == "crawl":
+        walls = len(CrawlResult(records=result.records).cookiewall_domains())
+        print(f"wrote {result.record_count} records to {spec.output.path} "
+              f"({walls} unique cookiewall domains{resumed})")
+    elif kind == "measure":
+        print(f"wrote {result.record_count} {spec.measure.mode} records to "
+              f"{spec.output.path} ({result.tasks_per_sec:.1f} tasks/s, "
+              f"{len(result.failures)} failures{resumed})")
+    else:
+        print(result.campaign.render())
+        if spec.output.out_dir:
+            print(f"\nwave records spooled under {spec.output.out_dir}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
 
@@ -180,100 +364,29 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"{key}: {value}")
         return 0
 
-    if args.command == "crawl":
-        from repro.measure import CheckpointMismatch, Crawler, CrawlEngine
-        from repro.measure.crawl import CrawlResult
+    if args.command in _SPEC_COMMANDS:
+        return _run_spec_command(args.command, args)
 
-        world = build_world(scale=args.scale, seed=args.seed)
-        crawler = Crawler(world)
-        plan = crawler.plan_detection_crawl(args.vp)
-        # Shard output spools to <out>.partial as the crawl runs (a
-        # crash keeps the completed shards without clobbering an older
-        # --out file); success writes --out in plan order.  Completed
-        # outcomes also checkpoint to <out>.checkpoint so a crashed run
-        # restarts from where it died with --resume.
-        engine = CrawlEngine(
-            crawler, workers=args.workers, shards=args.shards,
-            spool_path=args.out,
-            checkpoint_path=f"{args.out}.checkpoint",
-            resume=args.resume,
-        )
+    if args.command == "spec":
+        from repro.api import SpecError
+
         try:
-            result = engine.execute(plan)
-        except CheckpointMismatch as error:
+            spec = _compile_spec(args.spec_kind, args)
+        except SpecError as error:
             print(f"error: {error}", file=sys.stderr)
             return 2
-        crawl_result = CrawlResult(records=result.records)
-        walls = len(crawl_result.cookiewall_domains())
-        resumed = (
-            f", {result.resumed} replayed from checkpoint"
-            if result.resumed else ""
-        )
-        print(f"wrote {len(crawl_result.records)} records to {args.out} "
-              f"({walls} unique cookiewall domains{resumed})")
+        print(json.dumps(spec.to_dict(), indent=2, sort_keys=True))
         return 0
 
-    if args.command == "measure":
-        from repro.measure import CheckpointMismatch, Crawler, CrawlEngine
+    if args.command == "checkpoint":
+        from repro.measure import CheckpointMismatch, CrawlEngine
 
-        world = build_world(scale=args.scale, seed=args.seed)
-        crawler = Crawler(world)
-        domains = args.domain
-        if not domains:
-            crawl = crawler.crawl_all(
-                [args.vp], workers=args.workers, shards=args.shards
-            )
-            domains = crawl.cookiewall_domains()
-        if args.mode == "ublock":
-            plan = crawler.plan_ublock(
-                args.vp, domains, iterations=args.repeats
-            )
-        else:
-            plan = crawler.plan_cookie_measurements(
-                args.vp, domains, mode=args.mode, repeats=args.repeats
-            )
-        engine = CrawlEngine(
-            crawler, workers=args.workers, shards=args.shards,
-            spool_path=args.out,
-            checkpoint_path=f"{args.out}.checkpoint",
-            resume=args.resume,
-        )
         try:
-            result = engine.execute(plan)
-        except CheckpointMismatch as error:
+            compaction = CrawlEngine.compact_checkpoint(args.path)
+        except (CheckpointMismatch, OSError) as error:
             print(f"error: {error}", file=sys.stderr)
             return 2
-        resumed = (
-            f", {result.resumed} replayed from checkpoint"
-            if result.resumed else ""
-        )
-        print(f"wrote {len(result.records)} {args.mode} records to "
-              f"{args.out} ({result.tasks_per_sec:.1f} tasks/s, "
-              f"{len(result.failures)} failures{resumed})")
-        return 0
-
-    if args.command == "longitudinal":
-        from repro.measure import CheckpointMismatch
-        from repro.measure.longitudinal import run_longitudinal
-
-        if args.resume and not args.out_dir:
-            print("error: --resume requires --out-dir (the checkpoints "
-                  "live next to the wave spools)", file=sys.stderr)
-            return 2
-        months = tuple(args.months) if args.months else (0, 4)
-        world = build_world(scale=args.scale, seed=args.seed)
-        try:
-            campaign = run_longitudinal(
-                world, months=months, vp=args.vp,
-                workers=args.workers, shards=args.shards,
-                out_dir=args.out_dir, resume=args.resume,
-            )
-        except (CheckpointMismatch, ValueError) as error:
-            print(f"error: {error}", file=sys.stderr)
-            return 2
-        print(campaign.render())
-        if args.out_dir:
-            print(f"\nwave records spooled under {args.out_dir}")
+        print(compaction.render())
         return 0
 
     if args.command == "report":

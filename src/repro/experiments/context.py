@@ -23,8 +23,9 @@ import random
 from pathlib import Path
 from typing import List, Optional, Sequence, Union
 
+from repro.api import EngineSpec, Session
 from repro.measure.crawl import Crawler, CrawlResult
-from repro.measure.engine import CrawlEngine, CrawlPlan
+from repro.measure.engine import CrawlPlan
 from repro.measure.instrumentation import EventLog
 from repro.measure.records import CookieMeasurement, UBlockRecord, VisitRecord
 from repro.vantage import VANTAGE_POINTS
@@ -68,6 +69,16 @@ class ExperimentContext:
         if resume and self.spool_dir is None:
             raise ValueError("resume=True requires a spool_dir")
         self.resume = resume
+        #: All engine wiring (spool/checkpoint paths, retry, events,
+        #: progress) is owned by one Session, shared by every cached
+        #: product — the same path the CLI and library entry points use.
+        self.session = Session(
+            world,
+            engine=EngineSpec(workers=workers, shards=shards, resume=resume),
+            crawler=self.crawler,
+            event_log=event_log,
+            spool_dir=self.spool_dir,
+        )
         self._detection_crawl: Optional[CrawlResult] = None
         self._wall_measurements: Optional[List[CookieMeasurement]] = None
         self._regular_measurements: Optional[List[CookieMeasurement]] = None
@@ -77,25 +88,14 @@ class ExperimentContext:
         self._account_ready = False
 
     def _execute(self, plan: CrawlPlan, name: Optional[str] = None) -> List:
-        """Run *plan* through a fresh engine with this context's config.
+        """Run *plan* through the context's :class:`Session`.
 
         *name* keys the product's spool/checkpoint files when the
-        context was built with a ``spool_dir``.
+        context was built with a ``spool_dir``; the session derives
+        ``<spool_dir>/<name>.jsonl`` (+ ``.checkpoint``) exactly as
+        every other entry point does.
         """
-        spool_path = checkpoint_path = None
-        if self.spool_dir is not None and name is not None:
-            spool_path = self.spool_dir / f"{name}.jsonl"
-            checkpoint_path = self.spool_dir / f"{name}.jsonl.checkpoint"
-        engine = CrawlEngine(
-            self.crawler,
-            workers=self.workers,
-            shards=self.shards,
-            event_log=self.event_log,
-            spool_path=spool_path,
-            checkpoint_path=checkpoint_path,
-            resume=self.resume,
-        )
-        return engine.execute(plan).records
+        return self.session.execute(plan, name=name).records
 
     # ------------------------------------------------------------------
     # Detection crawl products

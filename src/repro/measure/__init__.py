@@ -10,6 +10,7 @@ merge; see :mod:`repro.measure.engine`).
 from repro.measure.cookies_analysis import CookieCounts, count_cookies
 from repro.measure.crawl import Crawler, CrawlResult
 from repro.measure.engine import (
+    CheckpointCompaction,
     CheckpointMismatch,
     CrawlEngine,
     CrawlPlan,
@@ -36,6 +37,7 @@ __all__ = [
     "CrawlEngine",
     "CrawlPlan",
     "CrawlTask",
+    "CheckpointCompaction",
     "CheckpointMismatch",
     "EngineResult",
     "TaskOutcome",

@@ -11,7 +11,8 @@ from repro.errors import MeasurementError, NavigationError, NetworkError
 from repro.httpkit import CookieJar
 from repro.lang import LanguageDetector
 from repro.measure.cookies_analysis import CookieCounts, average_counts, count_cookies
-from repro.measure.engine import CrawlEngine, CrawlPlan, CrawlTask
+from repro.measure.engine import CrawlPlan, CrawlTask
+from repro.measure.instrumentation import BatchedProgress
 from repro.measure.records import CookieMeasurement, UBlockRecord, VisitRecord
 from repro.smp import SMPPlatform
 from repro.vantage import VANTAGE_POINTS
@@ -127,23 +128,20 @@ class Crawler:
         the old serial loop — once more for the final partial batch, so
         short crawls also report completion.
         """
-        plan = self.plan_detection_crawl([vp], domains)
-        engine_progress = None
-        if progress is not None:
-            # Count completions locally (engine hook calls are
-            # serialised) so batch milestones stay monotonic even when
-            # parallel workers finish tasks out of order.
-            completed = {"done": 0}
+        # Imported lazily: repro.api is built on this module.
+        from repro.api import EngineSpec, Session
 
-            def engine_progress(_done: int, total: int, _task: CrawlTask) -> None:
-                completed["done"] += 1
-                done = completed["done"]
-                if done % PROGRESS_BATCH == 0 or done == total:
-                    progress(done, total)
-        engine = CrawlEngine(
-            self, workers=workers, shards=shards, progress=engine_progress
+        plan = self.plan_detection_crawl([vp], domains)
+        hook = None
+        if progress is not None:
+            hook = BatchedProgress(progress, every=PROGRESS_BATCH)
+        session = Session(
+            self.world,
+            engine=EngineSpec(workers=workers, shards=shards),
+            crawler=self,
+            progress=hook,
         )
-        return engine.execute(plan).records
+        return session.execute(plan).records
 
     def crawl_all(
         self,
@@ -161,22 +159,23 @@ class Crawler:
         plan (vp-major, then target) order and detection visits do not
         depend on scheduling.
         """
+        from repro.api import EngineSpec, Session
+
         vps = list(vps) if vps is not None else list(VANTAGE_POINTS)
         targets = list(domains) if domains is not None else self.world.crawl_targets
         plan = self.plan_detection_crawl(vps, targets)
-        per_vp_total = len(targets)
-        done_by_vp: Dict[str, int] = {}
-        engine_progress = None
+        hook = None
         if progress is not None:
-            def engine_progress(done: int, total: int, task: CrawlTask) -> None:
-                done_vp = done_by_vp.get(task.vp, 0) + 1
-                done_by_vp[task.vp] = done_vp
-                if done_vp % PROGRESS_BATCH == 0 or done_vp == per_vp_total:
-                    progress(task.vp, done_vp, per_vp_total)
-        engine = CrawlEngine(
-            self, workers=workers, shards=shards, progress=engine_progress
+            hook = BatchedProgress(
+                progress, every=PROGRESS_BATCH, per_vp_total=len(targets)
+            )
+        session = Session(
+            self.world,
+            engine=EngineSpec(workers=workers, shards=shards),
+            crawler=self,
+            progress=hook,
         )
-        return CrawlResult(records=engine.execute(plan).records)
+        return CrawlResult(records=session.execute(plan).records)
 
     # ------------------------------------------------------------------
     # Plan compilation (the engine's front end)

@@ -238,6 +238,24 @@ class RetryPolicy:
     retry_unreachable: bool = False
 
 
+@dataclass(frozen=True)
+class CheckpointCompaction:
+    """What :meth:`CrawlEngine.compact_checkpoint` did to one file."""
+
+    path: Path
+    #: Outcome lines kept (the latest per plan index).
+    kept: int
+    #: Superseded/duplicate outcome lines dropped.
+    dropped: int
+    fingerprint: str
+
+    def render(self) -> str:
+        return (
+            f"{self.path}: kept {self.kept} outcomes, dropped "
+            f"{self.dropped} (fingerprint {self.fingerprint})"
+        )
+
+
 @dataclass
 class EngineResult:
     """Merged outcomes of one engine run, in canonical (plan) order."""
@@ -634,6 +652,68 @@ class CrawlEngine:
             for outcome in outcomes:
                 handle.write(self._outcome_line(outcome))
             handle.flush()
+
+    @staticmethod
+    def compact_checkpoint(path: Union[str, Path]) -> CheckpointCompaction:
+        """Rewrite an append-only checkpoint, keeping only the latest
+        outcome per task.
+
+        Long crash/resume cycles grow the checkpoint: a shard that
+        died after checkpointing half its tasks re-runs them on
+        resume, so later lines supersede earlier ones for the same
+        plan index.  Compaction keeps the **last** outcome per index
+        (the append order is the authority), preserves the
+        :func:`plan_fingerprint` header verbatim, sorts outcomes into
+        plan order, and replaces the file atomically — a compacted
+        checkpoint resumes exactly like the original.  A torn trailing
+        line (crashed writer) is dropped, as on any checkpoint read.
+
+        Raises :class:`CheckpointMismatch` when *path* is not a crawl
+        checkpoint (no header / mid-file corruption).
+        """
+        path = Path(path)
+        header: Optional[Dict] = None
+        latest: Dict[int, str] = {}
+        superseded = 0
+        try:
+            for line_number, payload in iter_jsonl(path):
+                kind = payload.get("kind")
+                if header is None:
+                    if kind != "header":
+                        raise CheckpointMismatch(
+                            f"{path}: not a crawl checkpoint "
+                            f"(first line is {kind!r})"
+                        )
+                    header = payload
+                    continue
+                if kind != "outcome":
+                    continue
+                index = payload.get("index")
+                if not isinstance(index, int):
+                    raise CheckpointMismatch(
+                        f"{path}:{line_number}: outcome without an index"
+                    )
+                if index in latest:
+                    superseded += 1
+                latest[index] = json.dumps(payload, ensure_ascii=False)
+        except ValueError as error:
+            raise CheckpointMismatch(
+                f"{path}: corrupt checkpoint ({error}); refusing to compact"
+            ) from error
+        if header is None:
+            raise CheckpointMismatch(f"{path}: not a crawl checkpoint (empty)")
+        tmp = path.with_name(path.name + ".compact")
+        with tmp.open("w", encoding="utf-8") as handle:
+            handle.write(json.dumps(header, ensure_ascii=False) + "\n")
+            for index in sorted(latest):
+                handle.write(latest[index] + "\n")
+        tmp.replace(path)
+        return CheckpointCompaction(
+            path=path,
+            kept=len(latest),
+            dropped=superseded,
+            fingerprint=str(header.get("fingerprint")),
+        )
 
     # ------------------------------------------------------------------
     def _run_shard(

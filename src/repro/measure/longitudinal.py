@@ -23,11 +23,11 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Set, Union
 
-from repro.measure.crawl import Crawler, CrawlResult
-from repro.measure.engine import CrawlEngine, RetryPolicy
+from repro.measure.crawl import CrawlResult
+from repro.measure.engine import RetryPolicy
 from repro.measure.instrumentation import EventLog
 from repro.measure.storage import iter_records
-from repro.webgen.evolve import EvolutionSummary, evolve_world
+from repro.webgen.evolve import EvolutionSummary
 from repro.webgen.world import World
 
 
@@ -174,6 +174,12 @@ def run_longitudinal(
 ) -> LongitudinalRun:
     """Crawl *world* and its evolved snapshots through the engine.
 
+    .. deprecated::
+        This is a compatibility shim over
+        :meth:`repro.api.Session.longitudinal` (kept for one release);
+        new code should build a :class:`~repro.api.LongitudinalSpec`
+        and run it through a :class:`~repro.api.Session` directly.
+
     Each entry of *months* is one wave: ``0`` is the baseline world,
     any other value an :func:`~repro.webgen.evolve.evolve_world`
     snapshot that many months later.  Every wave detection-crawls the
@@ -192,68 +198,38 @@ def run_longitudinal(
     behind) is reloaded from disk without re-crawling, and the wave
     that actually crashed resumes from its checkpoint.
     """
-    if not months:
-        raise ValueError("months must name at least one wave")
-    if sorted(months) != list(months) or len(set(months)) != len(months):
-        raise ValueError("months must be strictly increasing")
-    if months[0] < 0:
-        raise ValueError("months must be >= 0")
     if resume and out_dir is None:
         # Without spools/checkpoints a "resumed" campaign would simply
         # re-crawl everything while claiming otherwise.
         raise ValueError("resume=True requires out_dir")
-    targets = (
-        list(domains) if domains is not None else list(world.crawl_targets)
+    # Imported here: repro.api is built on this module (not vice versa).
+    from repro.api import (
+        EngineSpec,
+        LongitudinalSpec,
+        OutputSpec,
+        Session,
     )
-    run = LongitudinalRun(vp=vp)
-    for month in months:
-        if month == 0:
-            wave_world, summary = world, None
-        else:
-            wave_world, summary = evolve_world(world, months=month)
-        crawler = Crawler(wave_world)
-        plan = crawler.plan_detection_crawl([vp], targets)
-        spool_path = checkpoint_path = None
-        if out_dir is not None:
-            spool_path = Path(out_dir) / f"wave-{month:02d}.jsonl"
-            checkpoint_path = Path(f"{spool_path}.checkpoint")
-        if resume:
-            replayed = _reload_completed_wave(spool_path, checkpoint_path, plan)
-            if replayed is not None:
-                run.waves.append(
-                    LongitudinalWave(
-                        months=month,
-                        world=wave_world,
-                        crawl=CrawlResult(records=replayed),
-                        summary=summary,
-                        resumed=len(replayed),
-                    )
-                )
-                continue
-        engine = CrawlEngine(
-            crawler,
-            workers=workers,
-            shards=shards,
-            retry=retry,
-            event_log=event_log,
-            spool_path=spool_path,
-            checkpoint_path=checkpoint_path,
-            resume=resume,
-        )
-        result = engine.execute(plan)
-        run.waves.append(
-            LongitudinalWave(
-                months=month,
-                world=wave_world,
-                crawl=CrawlResult(records=result.records),
-                summary=summary,
-                resumed=result.resumed,
-            )
-        )
-    return run
+
+    session = Session(
+        world,
+        engine=EngineSpec(workers=workers, shards=shards, resume=resume),
+        retry=retry,
+        event_log=event_log,
+    )
+    result = session.longitudinal(
+        LongitudinalSpec(
+            vp=vp,
+            months=tuple(months),
+            domains=tuple(domains) if domains is not None else None,
+        ),
+        output=OutputSpec(
+            out_dir=str(out_dir) if out_dir is not None else None
+        ),
+    )
+    return result.campaign
 
 
-def _reload_completed_wave(spool_path, checkpoint_path, plan):
+def reload_completed_wave(spool_path, checkpoint_path, plan):
     """The records of a wave that already finished, or ``None``.
 
     A wave is complete when its spool holds one record per plan task

@@ -1,0 +1,209 @@
+"""Tests for the RunSpec tree: round-trips, config files, overrides."""
+
+import json
+
+import pytest
+
+from repro.api import (
+    CrawlSpec,
+    EngineSpec,
+    LongitudinalSpec,
+    MeasureSpec,
+    OutputSpec,
+    RunSpec,
+    SpecError,
+    WorldSpec,
+)
+
+
+def specs_of_every_kind():
+    return [
+        RunSpec(
+            kind="crawl",
+            world=WorldSpec(scale=0.01, seed=3),
+            engine=EngineSpec(workers=4, shards=8),
+            crawl=CrawlSpec(vps=("DE", "USE"), domains=("a.de", "b.de")),
+            output=OutputSpec(path="crawl.jsonl"),
+        ),
+        RunSpec(
+            kind="measure",
+            world=WorldSpec(scale=0.02, seed=7),
+            engine=EngineSpec(retry_max_attempts=3, retry_unreachable=True),
+            measure=MeasureSpec(vp="SE", mode="ublock", repeats=2),
+            output=OutputSpec(path="ublock.jsonl"),
+        ),
+        RunSpec(
+            kind="longitudinal",
+            longitudinal=LongitudinalSpec(vp="DE", months=(0, 2, 4)),
+            output=OutputSpec(out_dir="waves"),
+        ),
+    ]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("spec", specs_of_every_kind(),
+                             ids=lambda s: s.kind)
+    def test_from_dict_of_to_dict_is_identity(self, spec):
+        assert RunSpec.from_dict(spec.to_dict()) == spec
+
+    @pytest.mark.parametrize("spec", specs_of_every_kind(),
+                             ids=lambda s: s.kind)
+    def test_to_dict_is_json_safe(self, spec):
+        assert RunSpec.from_dict(
+            json.loads(json.dumps(spec.to_dict()))
+        ) == spec
+
+    def test_to_dict_omits_inactive_workloads(self):
+        payload = RunSpec(kind="crawl").to_dict()
+        assert set(payload) == {"kind", "world", "engine", "crawl", "output"}
+
+    def test_save_load_round_trip(self, tmp_path):
+        spec = specs_of_every_kind()[0]
+        path = spec.save(tmp_path / "spec.json")
+        assert RunSpec.load(path) == spec
+
+
+class TestValidation:
+    def test_unknown_kind(self):
+        with pytest.raises(SpecError, match="kind must be one of"):
+            RunSpec(kind="teleport").validate()
+
+    def test_unknown_section_key(self):
+        with pytest.raises(SpecError, match="unknown key"):
+            RunSpec.from_dict({"kind": "crawl", "world": {"sele": 1}})
+
+    def test_unknown_section(self):
+        with pytest.raises(SpecError, match="unknown section"):
+            RunSpec.from_dict({"kind": "crawl", "wrold": {}})
+
+    def test_months_must_increase(self):
+        with pytest.raises(SpecError, match="strictly increasing"):
+            RunSpec(
+                kind="longitudinal",
+                longitudinal=LongitudinalSpec(months=(4, 0)),
+            ).validate()
+
+    def test_bad_measure_mode(self):
+        with pytest.raises(SpecError, match="measure.mode"):
+            RunSpec(
+                kind="measure", measure=MeasureSpec(mode="teleport"),
+            ).validate()
+
+    def test_resume_needs_output(self):
+        with pytest.raises(SpecError, match="--resume"):
+            RunSpec(kind="crawl", engine=EngineSpec(resume=True)).validate()
+        with pytest.raises(SpecError, match="--out-dir"):
+            RunSpec(
+                kind="longitudinal", engine=EngineSpec(resume=True),
+            ).validate()
+
+    def test_workers_positive(self):
+        with pytest.raises(SpecError, match="workers"):
+            RunSpec(kind="crawl", engine=EngineSpec(workers=0)).validate()
+
+    def test_string_where_list_expected(self):
+        with pytest.raises(SpecError, match="one-element list"):
+            CrawlSpec.from_dict({"vps": "DE"})
+        # months = "04" must be a SpecError too, not a TypeError deep
+        # inside validation (tuple("04") == ("0", "4") would even pass
+        # the ordering check).
+        with pytest.raises(SpecError, match="one-element list"):
+            LongitudinalSpec.from_dict({"months": "04"})
+
+    def test_null_months_keeps_default(self):
+        assert LongitudinalSpec.from_dict({"months": None}).months == (0, 4)
+
+
+class TestConfigFiles:
+    TOML = """
+kind = "crawl"
+
+[world]
+scale = 0.01
+seed = 3
+
+[engine]
+workers = 4
+
+[crawl]
+vps = ["DE"]
+
+[output]
+path = "out.jsonl"
+"""
+
+    def test_load_toml(self, tmp_path):
+        path = tmp_path / "run.toml"
+        path.write_text(self.TOML)
+        spec = RunSpec.load(path)
+        assert spec.kind == "crawl"
+        assert spec.world == WorldSpec(scale=0.01, seed=3)
+        assert spec.engine.workers == 4
+        assert spec.crawl.vps == ("DE",)
+        assert spec.output.path == "out.jsonl"
+
+    def test_load_json(self, tmp_path):
+        path = tmp_path / "run.json"
+        spec = specs_of_every_kind()[1]
+        path.write_text(json.dumps(spec.to_dict()))
+        assert RunSpec.load(path) == spec
+
+    def test_kind_supplied_by_caller(self, tmp_path):
+        path = tmp_path / "run.toml"
+        path.write_text("[world]\nscale = 0.01\n")
+        spec = RunSpec.load(path, kind="measure")
+        assert spec.kind == "measure"
+        with pytest.raises(SpecError, match="needs a 'kind'"):
+            RunSpec.load(path)
+
+    def test_kind_conflict_refused(self, tmp_path):
+        path = tmp_path / "run.toml"
+        path.write_text('kind = "crawl"\n')
+        with pytest.raises(SpecError, match="requested"):
+            RunSpec.load(path, kind="measure")
+
+    def test_bad_suffix_refused(self, tmp_path):
+        path = tmp_path / "run.yaml"
+        path.write_text("kind: crawl\n")
+        with pytest.raises(SpecError, match="unsupported config suffix"):
+            RunSpec.load(path)
+
+    def test_invalid_toml_reported_with_path(self, tmp_path):
+        path = tmp_path / "run.toml"
+        path.write_text("kind = [unclosed\n")
+        with pytest.raises(SpecError, match="invalid TOML"):
+            RunSpec.load(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(SpecError, match="cannot read config"):
+            RunSpec.load(tmp_path / "nope.toml")
+
+
+class TestOverride:
+    def test_explicit_values_beat_file_values(self, tmp_path):
+        path = tmp_path / "run.toml"
+        path.write_text(TestConfigFiles.TOML)
+        base = RunSpec.load(path)
+        merged = base.override({
+            "engine": {"workers": 8},
+            "output": {"path": "elsewhere.jsonl"},
+        })
+        # Overridden fields change; everything else is the file's.
+        assert merged.engine.workers == 8
+        assert merged.output.path == "elsewhere.jsonl"
+        assert merged.world == base.world
+        assert merged.crawl == base.crawl
+
+    def test_empty_override_is_identity(self):
+        spec = specs_of_every_kind()[0]
+        assert spec.override({"world": {}, "engine": {}}) == spec
+
+    def test_override_unknown_field_refused(self):
+        with pytest.raises(SpecError, match="unknown key"):
+            RunSpec(kind="crawl").override({"engine": {"wrokers": 2}})
+
+    def test_override_validates_result(self):
+        with pytest.raises(SpecError, match="strictly increasing"):
+            RunSpec(kind="longitudinal").override(
+                {"longitudinal": {"months": (3, 1)}}
+            )

@@ -192,6 +192,94 @@ class TestMeasure:
         assert record.domain == domain
 
 
+class TestSpecSubcommand:
+    def test_prints_resolved_defaults(self, capsys):
+        assert main(["spec", "crawl"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "crawl"
+        assert payload["world"] == {"scale": 0.05, "seed": 2023}
+        assert payload["engine"]["workers"] == 1
+
+    def test_flags_resolve_into_spec(self, capsys):
+        assert main(
+            ["spec", "measure", "--scale", "0.01", "--mode", "ublock",
+             "--workers", "4", "--out", "u.jsonl"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["measure"]["mode"] == "ublock"
+        assert payload["engine"]["workers"] == 4
+        assert payload["output"]["path"] == "u.jsonl"
+
+    def test_invalid_spec_exits_2(self, capsys):
+        assert main(
+            ["spec", "longitudinal", "--month", "4", "--month", "0"]
+        ) == 2
+        assert "strictly increasing" in capsys.readouterr().err
+
+
+class TestConfigFlag:
+    def test_crawl_config_vs_flags_byte_identical(self, tmp_path, capsys):
+        flag_out = tmp_path / "flags.jsonl"
+        config_out = tmp_path / "config.jsonl"
+        config = tmp_path / "run.toml"
+        config.write_text(
+            '[world]\nscale = 0.01\nseed = 3\n'
+            '[crawl]\nvps = ["DE"]\n'
+            f'[output]\npath = "{config_out}"\n'
+        )
+        assert main(
+            ["crawl", "--scale", "0.01", "--seed", "3",
+             "--vp", "DE", "--out", str(flag_out)]
+        ) == 0
+        assert main(["crawl", "--config", str(config)]) == 0
+        assert flag_out.read_bytes() == config_out.read_bytes()
+
+    def test_config_kind_conflict_exits_2(self, tmp_path, capsys):
+        config = tmp_path / "run.toml"
+        config.write_text('kind = "measure"\n')
+        assert main(["crawl", "--config", str(config)]) == 2
+        assert "requested" in capsys.readouterr().err
+
+    def test_missing_out_reported(self, tmp_path, capsys):
+        assert main(["crawl", "--scale", "0.01"]) == 2
+        assert "output path is required" in capsys.readouterr().err
+
+
+class TestCheckpointCompactVerb:
+    def test_compacts_crashed_checkpoint(self, tmp_path, capsys):
+        # Build a crashed checkpoint via the fault-injecting engine.
+        from repro.measure import Crawler, CrawlEngine, FaultInjectingExecutor
+        from repro.webgen import build_world
+
+        spool = tmp_path / "records.jsonl"
+        world = build_world(scale=0.01, seed=3)
+        crawler = Crawler(world)
+        plan = crawler.plan_detection_crawl(["DE"])
+        engine = CrawlEngine(
+            crawler, workers=4, shards=8, spool_path=spool,
+            checkpoint_path=f"{spool}.checkpoint",
+            executor=FaultInjectingExecutor(4, (1, 3), partial=True),
+        )
+        with pytest.raises(RuntimeError):
+            engine.execute(plan)
+        checkpoint = tmp_path / "records.jsonl.checkpoint"
+        assert main(["checkpoint", "compact", str(checkpoint)]) == 0
+        assert "kept" in capsys.readouterr().out
+        # Still resumable afterwards.
+        assert main(
+            ["crawl", "--scale", "0.01", "--seed", "3", "--vp", "DE",
+             "--workers", "4", "--shards", "8", "--resume",
+             "--out", str(spool)]
+        ) == 0
+        assert "replayed from checkpoint" in capsys.readouterr().out
+
+    def test_refuses_non_checkpoint(self, tmp_path, capsys):
+        bogus = tmp_path / "bogus.checkpoint"
+        bogus.write_text('{"kind": "outcome"}\n')
+        assert main(["checkpoint", "compact", str(bogus)]) == 2
+        assert "not a crawl checkpoint" in capsys.readouterr().err
+
+
 class TestExportToplists:
     def test_export(self, tmp_path, capsys):
         assert main(

@@ -23,16 +23,20 @@ GUARDED = ("crawl", "measure", "longitudinal")
 
 #: Flags shared by every engine-backed subcommand, documented once in
 #: the README's common list rather than per subcommand.
-COMMON = {"--scale", "--seed", "--workers", "--shards", "--resume"}
+COMMON = {"--scale", "--seed", "--workers", "--shards", "--resume", "--config"}
 
 
-def subcommand_parsers():
+def top_level_parsers():
     parser = build_parser()
     subparsers = next(
         action for action in parser._actions
         if getattr(action, "choices", None)
     )
-    return {name: subparsers.choices[name] for name in GUARDED}
+    return subparsers.choices
+
+
+def subcommand_parsers():
+    return {name: top_level_parsers()[name] for name in GUARDED}
 
 
 def parser_flags(subparser):
@@ -105,3 +109,42 @@ def test_common_flags_documented_once():
     # them (otherwise the shared documentation would overclaim).
     for name, subparser in subcommand_parsers().items():
         assert COMMON <= parser_flags(subparser), name
+
+
+# ---------------------------------------------------------------------------
+# The `spec` dry-run surface: `spec <kind>` must mirror the real
+# subcommand's flags exactly, or the printed spec stops being "what
+# the real run would execute".
+# ---------------------------------------------------------------------------
+
+def spec_kind_parsers():
+    spec = top_level_parsers()["spec"]
+    subparsers = next(
+        action for action in spec._actions
+        if getattr(action, "choices", None)
+    )
+    return dict(subparsers.choices)
+
+
+@pytest.mark.parametrize("name", GUARDED)
+def test_spec_subcommand_mirrors_flags(name):
+    mirrored = spec_kind_parsers()
+    assert name in mirrored, f"'spec {name}' subcommand missing"
+    assert parser_flags(mirrored[name]) == parser_flags(
+        subcommand_parsers()[name]
+    ), f"'spec {name}' flag surface drifted from '{name}'"
+
+
+def test_readme_documents_spec_and_checkpoint():
+    subsections = readme_subsections()
+    assert "spec" in subsections, "README lacks a '### `spec`' subsection"
+    assert "--config" in subsections["spec"], (
+        "README '### `spec`' must mention --config"
+    )
+    assert "checkpoint" in subsections, (
+        "README lacks a '### `checkpoint`' subsection"
+    )
+    assert "compact" in subsections["checkpoint"]
+    # The verbs must actually exist in the parser.
+    top = top_level_parsers()
+    assert "spec" in top and "checkpoint" in top

@@ -4,6 +4,9 @@ import doctest
 
 import pytest
 
+import repro.api
+import repro.api.session
+import repro.api.spec
 import repro.bannerclick.corpus
 import repro.pricing.extract
 import repro.rng
@@ -17,6 +20,9 @@ import repro.urlkit.psl
         repro.rng,
         repro.pricing.extract,
         repro.bannerclick.corpus,
+        repro.api,
+        repro.api.spec,
+        repro.api.session,
     ],
     ids=lambda m: m.__name__,
 )

@@ -712,3 +712,102 @@ class TestUBlockErrorTracking:
         record = medium_crawler.measure_ublock("DE", smp_wall, iterations=2)
         assert record.errors == 0
         assert record.suppressed
+
+
+class TestCheckpointCompaction:
+    WORKERS, SHARDS = 4, 8
+
+    def _crashed_checkpoint(self, tmp_path, crawler, plan):
+        out = tmp_path / "records.jsonl"
+        engine = CrawlEngine(
+            crawler, workers=self.WORKERS, shards=self.SHARDS,
+            spool_path=out, checkpoint_path=f"{out}.checkpoint",
+            executor=FaultInjectingExecutor(
+                self.WORKERS, (1, 3, 5), partial=True
+            ),
+        )
+        with pytest.raises(RuntimeError, match="injected crash"):
+            engine.execute(plan)
+        return out, tmp_path / "records.jsonl.checkpoint"
+
+    def test_compacted_checkpoint_resumes_byte_identical(
+        self, tmp_path, medium_world, medium_crawler
+    ):
+        targets = medium_world.crawl_targets[:60]
+        plan = medium_crawler.plan_detection_crawl(["DE"], targets)
+        reference = tmp_path / "clean.jsonl"
+        CrawlEngine(
+            medium_crawler, workers=self.WORKERS, shards=self.SHARDS,
+            spool_path=reference,
+            checkpoint_path=f"{reference}.checkpoint",
+        ).execute(plan)
+
+        out, checkpoint = self._crashed_checkpoint(
+            tmp_path, medium_crawler, plan
+        )
+        # Simulate append-only growth: re-append the first outcome line
+        # twice (a superseded duplicate, as left by repeated
+        # crash/resume cycles before the reconcile rewrite).
+        lines = checkpoint.read_text().splitlines()
+        header, first_outcome = lines[0], lines[1]
+        with checkpoint.open("a") as handle:
+            handle.write(first_outcome + "\n")
+            handle.write(first_outcome + "\n")
+
+        compaction = CrawlEngine.compact_checkpoint(checkpoint)
+        assert compaction.dropped == 2
+        assert compaction.kept == len(lines) - 1
+        assert "kept" in compaction.render()
+        # The header survives verbatim: same fingerprint, still resumable.
+        assert checkpoint.read_text().splitlines()[0] == header
+
+        result = CrawlEngine(
+            medium_crawler, workers=self.WORKERS, shards=self.SHARDS,
+            spool_path=out, checkpoint_path=checkpoint, resume=True,
+        ).execute(plan)
+        assert result.resumed == compaction.kept
+        assert out.read_bytes() == reference.read_bytes()
+
+    def test_compaction_is_idempotent(
+        self, tmp_path, medium_world, medium_crawler
+    ):
+        plan = medium_crawler.plan_detection_crawl(
+            ["DE"], medium_world.crawl_targets[:40]
+        )
+        _, checkpoint = self._crashed_checkpoint(
+            tmp_path, medium_crawler, plan
+        )
+        first = CrawlEngine.compact_checkpoint(checkpoint)
+        before = checkpoint.read_bytes()
+        second = CrawlEngine.compact_checkpoint(checkpoint)
+        assert second.dropped == 0
+        assert second.kept == first.kept
+        assert checkpoint.read_bytes() == before
+
+    def test_outcomes_sorted_into_plan_order(
+        self, tmp_path, medium_world, medium_crawler
+    ):
+        import json as _json
+
+        plan = medium_crawler.plan_detection_crawl(
+            ["DE"], medium_world.crawl_targets[:40]
+        )
+        _, checkpoint = self._crashed_checkpoint(
+            tmp_path, medium_crawler, plan
+        )
+        CrawlEngine.compact_checkpoint(checkpoint)
+        indices = [
+            _json.loads(line)["index"]
+            for line in checkpoint.read_text().splitlines()[1:]
+        ]
+        assert indices == sorted(indices)
+
+    def test_refuses_non_checkpoint_files(self, tmp_path):
+        not_checkpoint = tmp_path / "records.jsonl"
+        not_checkpoint.write_text('{"type": "VisitRecord", "data": {}}\n')
+        with pytest.raises(CheckpointMismatch, match="not a crawl checkpoint"):
+            CrawlEngine.compact_checkpoint(not_checkpoint)
+        empty = tmp_path / "empty.checkpoint"
+        empty.write_text("")
+        with pytest.raises(CheckpointMismatch, match="not a crawl checkpoint"):
+            CrawlEngine.compact_checkpoint(empty)

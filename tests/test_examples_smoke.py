@@ -22,6 +22,8 @@ def test_quickstart_runs(capsys):
     out = capsys.readouterr().out
     assert "is cookiewall:   True" in out
     assert "5-visit average" in out
+    assert "detection crawl:" in out
+    assert "reproduced the measurement exactly" in out
 
 
 def test_revoking_acceptance_runs(capsys):
