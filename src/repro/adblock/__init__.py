@@ -5,7 +5,7 @@ Annoyances lists enabled, uBlock Origin suppressed the cookiewall on
 ~70% of sites by blocking the CMP/SMP scripts that inject the wall.
 """
 
-from repro.adblock.engine import FilterEngine
+from repro.adblock.engine import FilterEngine, NaiveFilterEngine
 from repro.adblock.filters import CosmeticFilter, NetworkFilter, parse_filter_list
 from repro.adblock.lists import annoyances_list, easylist
 from repro.adblock.ublock import UBlockOrigin
@@ -15,6 +15,7 @@ __all__ = [
     "CosmeticFilter",
     "parse_filter_list",
     "FilterEngine",
+    "NaiveFilterEngine",
     "easylist",
     "annoyances_list",
     "UBlockOrigin",

@@ -38,6 +38,9 @@ class NetworkFilter:
     is_exception: bool = False
     anchor_domain: Optional[str] = None          # for ||domain^ filters
     substring_regex: Optional["re.Pattern"] = None
+    #: The literal pattern body a substring regex was compiled from
+    #: (kept so the engine can token-index the filter).
+    pattern: Optional[str] = None
     resource_types: Set[str] = field(default_factory=set)
     third_party: Optional[bool] = None           # None = either
     include_domains: Set[str] = field(default_factory=set)
@@ -134,6 +137,7 @@ def _network(raw: str) -> NetworkFilter:
     if not line or line in ("*", "|"):
         raise FilterSyntaxError(f"empty filter pattern: {raw!r}")
     nf.substring_regex = _pattern_to_regex(line)
+    nf.pattern = line
     return nf
 
 
@@ -170,6 +174,34 @@ def _pattern_to_regex(pattern: str) -> "re.Pattern":
     # or one of -._% (or end of string).
     body = body.replace(r"\^", r"(?:[^\w\-.%]|$)")
     return re.compile(body)
+
+
+#: Maximal alphanumeric runs — the unit of the engine's token index.
+TOKEN_RE = re.compile(r"[0-9A-Za-z]+")
+
+
+def good_filter_tokens(pattern: str) -> List[str]:
+    """Tokens of *pattern* guaranteed to appear in every matching URL.
+
+    A token is "good" (uBlock's term) when it is bounded on both sides
+    by a literal non-alphanumeric character inside the pattern — then
+    any URL the pattern matches must contain it as a *maximal*
+    alphanumeric run, so the engine may index the filter under it.
+    Runs touching the pattern edges or a ``*`` wildcard could be mere
+    fragments of a longer URL token and are excluded; a ``^`` separator
+    (which only matches non-word characters or the string end) is a
+    valid boundary.
+    """
+    pattern = pattern.strip("|")
+    out: List[str] = []
+    for match in TOKEN_RE.finditer(pattern):
+        start, end = match.start(), match.end()
+        if start == 0 or pattern[start - 1] == "*":
+            continue
+        if end == len(pattern) or pattern[end] == "*":
+            continue
+        out.append(match.group())
+    return out
 
 
 def parse_filter_list(text: str) -> Tuple[List[NetworkFilter], List[CosmeticFilter]]:

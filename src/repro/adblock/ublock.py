@@ -2,9 +2,10 @@
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Iterable, Optional
+from typing import TYPE_CHECKING, Iterable, Optional, Type
 
-from repro.adblock.engine import FilterEngine
+from repro import perf
+from repro.adblock.engine import FilterEngine, NaiveFilterEngine, _EngineCore
 from repro.adblock.lists import annoyances_list, easylist
 from repro.browser.extensions import Extension
 from repro.dom.selector import query_selector_all
@@ -30,8 +31,15 @@ class UBlockOrigin(Extension):
         *,
         annoyances: bool = False,
         extra_lists: Optional[Iterable[str]] = None,
+        engine_cls: Optional[Type[_EngineCore]] = None,
     ) -> None:
-        self.engine = FilterEngine()
+        if engine_cls is None:
+            # The hot-path switch lets benchmarks and differential
+            # tests run the whole uBlock arm on the naive matcher.
+            engine_cls = (
+                FilterEngine if perf.config.filter_index else NaiveFilterEngine
+            )
+        self.engine = engine_cls()
         self.engine.add_list(easylist())
         self.annoyances_enabled = annoyances
         if annoyances:

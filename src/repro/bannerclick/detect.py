@@ -21,6 +21,7 @@ from repro.bannerclick.corpus import (
 )
 from repro.browser import Page
 from repro.dom import Document, Element, Node
+from repro.dom.selector import iter_elements_by_tags
 from repro.soup import Soup
 
 #: Tags that can host a consent dialog.
@@ -114,11 +115,14 @@ class BannerClick:
     # Context scans
     # ------------------------------------------------------------------
     def _scan_context(self, root: Node) -> Optional[BannerDetection]:
-        """Find the most plausible banner container under *root*."""
+        """Find the most plausible banner container under *root*.
+
+        The container scan runs through the document's tag index (one
+        bucket lookup per container tag, in document order) instead of
+        walking every node.
+        """
         candidates: List[Tuple[bool, int, Element]] = []
-        for element in root.elements():
-            if element.tag not in _CONTAINER_TAGS:
-                continue
+        for element in iter_elements_by_tags(root, _CONTAINER_TAGS):
             if not element.is_visible():
                 continue
             hinted = self._attribute_hint(element)
@@ -197,13 +201,13 @@ class BannerClick:
 
     def _scan_subtree(self, root: Node) -> Optional[BannerDetection]:
         """Like _scan_context but includes *root* itself as a candidate."""
-        elements = []
-        if isinstance(root, Element):
+        elements: List[Element] = []
+        if isinstance(root, Element) and root.tag in _CONTAINER_TAGS:
             elements.append(root)
-        elements.extend(el for el in root.elements())
+        elements.extend(iter_elements_by_tags(root, _CONTAINER_TAGS))
         candidates: List[Tuple[bool, int, Element]] = []
         for element in elements:
-            if element.tag not in _CONTAINER_TAGS or not element.is_visible():
+            if not element.is_visible():
                 continue
             hinted = self._attribute_hint(element)
             text = element.text_content()
@@ -237,9 +241,7 @@ class BannerClick:
     @staticmethod
     def _buttons_in(container: Element) -> List[Element]:
         out = []
-        for el in container.elements():
-            if el.tag not in _BUTTON_TAGS:
-                continue
+        for el in iter_elements_by_tags(container, _BUTTON_TAGS):
             if el.tag == "input" and el.get_attribute("type") not in (
                 "button", "submit"
             ):

@@ -14,9 +14,11 @@ from repro.errors import (
     NavigationError,
     NetworkError,
 )
+from repro import perf
 from repro.httpkit import CookieJar, Headers, Request, Response
 from repro.netsim import Network, VisitorContext
 from repro.soup import parse_document
+from repro.soup.cache import DocumentCache, shared_document_cache
 from repro.urlkit import URL, parse
 from repro.vantage import VantagePoint
 
@@ -48,6 +50,7 @@ class Browser:
         stealth: bool = True,
         user_agent: str = _DEFAULT_UA,
         visit_ids: Optional[Callable[[], int]] = None,
+        parse_cache: Optional[DocumentCache] = shared_document_cache,
     ) -> None:
         self.network = network
         self.vp = vp
@@ -63,7 +66,16 @@ class Browser:
         #: stream instead so measurements don't depend on thread
         #: scheduling.
         self._visit_ids = visit_ids
+        #: Parsed-document cache (None disables).  Identical response
+        #: bodies across visits/VPs/repeats are parsed once and cloned.
+        self._parse_cache = parse_cache
         self._visitor: Optional[VisitorContext] = None
+
+    def _parse(self, body: str, url: str) -> Document:
+        """Parse an HTML body, via the document cache when enabled."""
+        if self._parse_cache is not None and perf.config.parse_cache:
+            return self._parse_cache.parse(body, url)
+        return parse_document(body, url=url)
 
     def _emit(self, hook: str, *args) -> None:
         for instrument in self.instruments:
@@ -98,7 +110,7 @@ class Browser:
         self._store_cookies(response)
         if response.status >= 500:
             raise NavigationError(f"{url} answered {response.status}")
-        document = parse_document(response.body, url=str(url))
+        document = self._parse(response.body, str(url))
         page = Page(self, url, document)
         page.status = response.status
         page.requests.append(request)
@@ -231,7 +243,7 @@ class Browser:
         if response.content_type.startswith(EFFECTS_CONTENT_TYPE):
             return
         frame_url = page.url.join(src)
-        element.content_document = parse_document(response.body, url=str(frame_url))
+        element.content_document = self._parse(response.body, str(frame_url))
         self._process_tree(page, element.content_document, depth + 1)
 
     # ------------------------------------------------------------------

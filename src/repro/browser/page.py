@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Iterator, List, Optional
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Tuple
 
+from repro import perf
 from repro.dom import Document, Element
 from repro.httpkit import Request
 from repro.urlkit import URL
@@ -32,28 +33,60 @@ class Page:
         self.status: int = 200
         #: Resource elements already handled by the load pipeline.
         self.processed_elements: set = set()
+        #: One-walk frame cache: (iframes, documents, [(doc, revision)]).
+        #: Validated against every involved document's mutation revision,
+        #: so results stay identical to a fresh walk.
+        self._frame_walk: Optional[
+            Tuple[List[Element], List[Document], List[Tuple[Document, int]]]
+        ] = None
 
     # ------------------------------------------------------------------
     # Frame access
     # ------------------------------------------------------------------
-    def iframes(self) -> List[Element]:
-        """All iframe elements in the top-level document (pierces shadow)."""
-        return [
-            el
-            for el in self.document.elements(include_shadow=True)
-            if el.tag == "iframe"
-        ]
+    def _walk_frames(
+        self,
+    ) -> Tuple[List[Element], List[Document], List[Tuple[Document, int]]]:
+        """One pierced walk computing iframes and the document tree.
 
-    def all_documents(self) -> Iterator[Document]:
-        """The main document plus every loaded frame document (recursive)."""
-        yield self.document
+        ``iframes()`` and ``all_documents()`` used to re-walk
+        ``elements(include_shadow=True)`` on every call; within one load
+        the walk runs once and is reused until any involved document's
+        revision changes.
+        """
+        cached = self._frame_walk if perf.config.frame_cache else None
+        if cached is not None and all(
+            doc.revision == revision for doc, revision in cached[2]
+        ):
+            return cached
+        iframes: List[Element] = []
+        documents: List[Document] = [self.document]
+        revisions: List[Tuple[Document, int]] = [
+            (self.document, self.document.revision)
+        ]
         stack = [self.document]
         while stack:
             doc = stack.pop()
             for el in doc.elements(include_shadow=True):
-                if el.tag == "iframe" and el.content_document is not None:
-                    yield el.content_document
-                    stack.append(el.content_document)
+                if el.tag != "iframe":
+                    continue
+                if doc is self.document:
+                    iframes.append(el)
+                inner = el.content_document
+                if inner is not None:
+                    documents.append(inner)
+                    revisions.append((inner, inner.revision))
+                    stack.append(inner)
+        walked = (iframes, documents, revisions)
+        self._frame_walk = walked
+        return walked
+
+    def iframes(self) -> List[Element]:
+        """All iframe elements in the top-level document (pierces shadow)."""
+        return list(self._walk_frames()[0])
+
+    def all_documents(self) -> Iterator[Document]:
+        """The main document plus every loaded frame document (recursive)."""
+        yield from self._walk_frames()[1]
 
     # ------------------------------------------------------------------
     # Convenience

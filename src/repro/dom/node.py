@@ -2,9 +2,27 @@
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Callable, Dict, Iterator, List, Optional
 
 from repro.errors import ClosedShadowRootError, DOMError
+
+
+@lru_cache(maxsize=1024)
+def _parse_style(declaration_text: str) -> Dict[str, str]:
+    """Parse an inline ``style`` attribute value (memoized).
+
+    Visibility checks walk ancestor chains parsing the same handful of
+    style strings over and over; the cache makes that a dict hit.
+    Callers must not mutate the returned dict (``Element.style`` hands
+    out a copy).
+    """
+    out: Dict[str, str] = {}
+    for declaration in declaration_text.split(";"):
+        name, sep, value = declaration.partition(":")
+        if sep:
+            out[name.strip().lower()] = value.strip().lower()
+    return out
 
 #: Elements that never have children when parsed from HTML.
 VOID_ELEMENTS = frozenset(
@@ -25,6 +43,32 @@ class Node:
         self.children: List[Node] = []
 
     # ------------------------------------------------------------------
+    # Revision tracking (query-index and frame-walk cache invalidation)
+    # ------------------------------------------------------------------
+    def root_node(self) -> "Node":
+        """The topmost node of this tree, crossing shadow boundaries."""
+        node: Node = self
+        while True:
+            if node.parent is not None:
+                node = node.parent
+            elif isinstance(node, ShadowRoot):
+                node = node.host
+            else:
+                return node
+
+    def _bump_revision(self) -> None:
+        """Invalidate caches hanging off this tree's root document.
+
+        Every mutation that can change what a query or frame walk sees
+        (structure, attributes, shadow/frame attachment) bumps the
+        owning :class:`Document`'s revision counter; the selector index
+        and ``Page`` walk caches compare revisions before reuse.
+        """
+        root = self.root_node()
+        if isinstance(root, Document):
+            root._revision += 1
+
+    # ------------------------------------------------------------------
     # Tree manipulation
     # ------------------------------------------------------------------
     def append_child(self, child: "Node") -> "Node":
@@ -34,6 +78,7 @@ class Node:
         child.detach()
         child.parent = self
         self.children.append(child)
+        self._bump_revision()
         return child
 
     def insert_before(self, child: "Node", reference: Optional["Node"]) -> "Node":
@@ -47,11 +92,13 @@ class Node:
         child.detach()
         child.parent = self
         self.children.insert(self.children.index(reference), child)
+        self._bump_revision()
         return child
 
     def detach(self) -> None:
         """Remove this node from its parent, if any."""
         if self.parent is not None:
+            self._bump_revision()
             self.parent.children.remove(self)
             self.parent = None
 
@@ -90,6 +137,15 @@ class Node:
         entered — matching what CSS selector / XPath engines can see.
         Set the flags to pierce those boundaries (crawler-internal use).
         """
+        if not include_shadow and not include_frames:
+            # Hot path: no per-node boundary checks or list rebuilding.
+            stack: List[Node] = list(reversed(self.children))
+            while stack:
+                node = stack.pop()
+                yield node
+                if node.children:
+                    stack.extend(reversed(node.children))
+            return
         roots: List[Node] = list(self.children)
         if isinstance(self, Element):
             if include_shadow and self.attached_shadow_root is not None:
@@ -138,12 +194,25 @@ class Node:
     # Cloning
     # ------------------------------------------------------------------
     def clone(self, *, deep: bool = True) -> "Node":
-        """Return a copy of this node (deep by default)."""
+        """Return a copy of this node (deep by default).
+
+        The deep path links children directly instead of going through
+        :meth:`append_child` — the clone tree is built from fresh nodes,
+        so the cycle checks and detach bookkeeping there can never fire,
+        and skipping them makes cloning a cached parse several times
+        cheaper than re-parsing (see :mod:`repro.soup.cache`).
+        """
         copy = self._clone_self()
         if deep:
-            for child in self.children:
-                copy.append_child(child.clone(deep=True))
+            self._clone_children_into(copy)
         return copy
+
+    def _clone_children_into(self, copy: "Node") -> None:
+        children = copy.children
+        for child in self.children:
+            child_copy = child.clone(deep=True)
+            child_copy.parent = copy
+            children.append(child_copy)
 
     def _clone_self(self) -> "Node":
         return type(self)()
@@ -174,7 +243,11 @@ class Text(Node):
         self.data = data
 
     def _clone_self(self) -> "Text":
-        return Text(self.data)
+        copy = Text.__new__(Text)
+        copy.parent = None
+        copy.children = []
+        copy.data = self.data
+        return copy
 
     def __repr__(self) -> str:
         preview = self.data if len(self.data) <= 30 else self.data[:27] + "..."
@@ -200,17 +273,33 @@ class Comment(Node):
 class Element(Node):
     """An element node with attributes, optional shadow root / frame doc."""
 
-    __slots__ = ("tag", "attrs", "_shadow_root", "content_document", "on_click")
+    __slots__ = ("tag", "attrs", "_shadow_root", "_content_document", "on_click")
 
     def __init__(self, tag: str, attrs: Optional[Dict[str, str]] = None) -> None:
         super().__init__()
         self.tag = tag.lower()
+        #: Raw attribute map.  Runtime code must mutate attributes via
+        #: :meth:`set_attribute` / :meth:`remove_attribute` /
+        #: :meth:`add_class` — writing this dict directly skips the
+        #: revision bump that invalidates the document's query index
+        #: (only the parser does so, during tree construction, before
+        #: any index can exist).
         self.attrs: Dict[str, str] = dict(attrs or {})
         self._shadow_root: Optional[ShadowRoot] = None
-        #: For ``iframe`` elements: the framed document, if loaded.
-        self.content_document: Optional[Document] = None
+        self._content_document: Optional[Document] = None
         #: Optional behaviour hook used by the browser layer.
         self.on_click: Optional[Callable[["Element"], None]] = None
+
+    # -- frames ---------------------------------------------------------
+    @property
+    def content_document(self) -> Optional["Document"]:
+        """For ``iframe`` elements: the framed document, if loaded."""
+        return self._content_document
+
+    @content_document.setter
+    def content_document(self, document: Optional["Document"]) -> None:
+        self._content_document = document
+        self._bump_revision()
 
     # -- attributes -----------------------------------------------------
     def get_attribute(self, name: str) -> Optional[str]:
@@ -218,9 +307,11 @@ class Element(Node):
 
     def set_attribute(self, name: str, value: str) -> None:
         self.attrs[name.lower()] = value
+        self._bump_revision()
 
     def remove_attribute(self, name: str) -> None:
-        self.attrs.pop(name.lower(), None)
+        if self.attrs.pop(name.lower(), None) is not None:
+            self._bump_revision()
 
     def has_attribute(self, name: str) -> bool:
         return name.lower() in self.attrs
@@ -238,6 +329,7 @@ class Element(Node):
         if name not in classes:
             classes.append(name)
             self.attrs["class"] = " ".join(classes)
+            self._bump_revision()
 
     # -- shadow DOM -----------------------------------------------------
     def attach_shadow(self, *, mode: str = "open") -> "ShadowRoot":
@@ -247,6 +339,7 @@ class Element(Node):
         if self._shadow_root is not None:
             raise DOMError("element already hosts a shadow root")
         self._shadow_root = ShadowRoot(host=self, mode=mode)
+        self._bump_revision()
         return self._shadow_root
 
     @property
@@ -282,12 +375,7 @@ class Element(Node):
     @property
     def style(self) -> Dict[str, str]:
         """Parsed ``style`` attribute (lower-cased property names)."""
-        out: Dict[str, str] = {}
-        for declaration in self.attrs.get("style", "").split(";"):
-            name, sep, value = declaration.partition(":")
-            if sep:
-                out[name.strip().lower()] = value.strip().lower()
-        return out
+        return dict(_parse_style(self.attrs.get("style", "")))
 
     def is_visible(self) -> bool:
         """Approximate rendered visibility (display/visibility/hidden)."""
@@ -308,19 +396,28 @@ class Element(Node):
 
     # -- cloning --------------------------------------------------------
     def _clone_self(self) -> "Element":
-        copy = Element(self.tag, dict(self.attrs))
+        # __new__ + direct slot writes: skips the re-lowercasing and
+        # validation of __init__ on the deep-clone hot path.
+        copy = Element.__new__(Element)
+        copy.parent = None
+        copy.children = []
+        copy.tag = self.tag
+        copy.attrs = dict(self.attrs)
+        copy._shadow_root = None
+        copy._content_document = None
         copy.on_click = self.on_click
         return copy
 
     def clone(self, *, deep: bool = True) -> "Element":
-        copy = super().clone(deep=deep)
-        assert isinstance(copy, Element)
-        if deep and self._shadow_root is not None:
-            shadow_copy = copy.attach_shadow(mode=self._shadow_root.mode)
-            for child in self._shadow_root.children:
-                shadow_copy.append_child(child.clone(deep=True))
-        if deep and self.content_document is not None:
-            copy.content_document = self.content_document.clone(deep=True)
+        copy = self._clone_self()
+        if deep:
+            self._clone_children_into(copy)
+            if self._shadow_root is not None:
+                shadow_copy = ShadowRoot(host=copy, mode=self._shadow_root.mode)
+                copy._shadow_root = shadow_copy
+                self._shadow_root._clone_children_into(shadow_copy)
+            if self._content_document is not None:
+                copy._content_document = self._content_document.clone(deep=True)
         return copy
 
     def __repr__(self) -> str:
@@ -349,11 +446,21 @@ class ShadowRoot(Node):
 class Document(Node):
     """A document node; the root of a page or iframe content tree."""
 
-    __slots__ = ("url",)
+    __slots__ = ("url", "_revision", "_query_index")
 
     def __init__(self, url: str = "about:blank") -> None:
         super().__init__()
         self.url = url
+        #: Bumped by every mutation anywhere in this document's tree
+        #: (including shadow subtrees); caches key off it.
+        self._revision = 0
+        #: Lazily built tag/id/class index (see repro.dom.selector).
+        self._query_index = None
+
+    @property
+    def revision(self) -> int:
+        """Monotonic mutation counter for cache validation."""
+        return self._revision
 
     # -- common accessors -------------------------------------------------
     @property
@@ -395,10 +502,9 @@ class Document(Node):
         return Element(tag, {k.replace("_", "-"): v for k, v in attrs.items()})
 
     def get_element_by_id(self, element_id: str) -> Optional[Element]:
-        for el in self.elements():
-            if el.id == element_id:
-                return el
-        return None
+        from repro.dom.selector import first_element_by_id
+
+        return first_element_by_id(self, element_id)
 
     def _clone_self(self) -> "Document":
         return Document(self.url)

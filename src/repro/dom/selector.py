@@ -18,9 +18,11 @@ behaviour the paper's shadow-DOM workaround exists to overcome.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, List, Optional, Tuple
+from functools import lru_cache
+from typing import Dict, Iterator, List, Optional, Tuple
 
-from repro.dom.node import Element, Node
+from repro import perf
+from repro.dom.node import Document, Element, Node
 from repro.errors import SelectorError
 
 
@@ -256,12 +258,168 @@ def _parse_attr(body: str) -> Tuple[str, str, Optional[str]]:
 
 
 # ---------------------------------------------------------------------------
+# Compiled selector plans
+# ---------------------------------------------------------------------------
+
+@lru_cache(maxsize=2048)
+def compile_selector(selector: str) -> List[List[_Step]]:
+    """Parse *selector* once and cache the step chains (module-level).
+
+    The crawler evaluates the same small set of selectors (cosmetic
+    filters, effect targets, BannerClick lookups) on every visit;
+    compiling once turns the per-query parse into a dict hit.  The
+    cached chains are shared — callers must never mutate them.
+    """
+    return parse_selector(selector)
+
+
+def _chains_for(selector: str) -> List[List[_Step]]:
+    if perf.config.selector_index:
+        return compile_selector(selector)
+    return parse_selector(selector)
+
+
+# ---------------------------------------------------------------------------
+# Per-document query index
+# ---------------------------------------------------------------------------
+
+class _QueryIndex:
+    """Tag/id/class buckets over one document's (non-pierced) tree.
+
+    Built in one document-order walk and revalidated against the
+    document's mutation revision; bucket lists are document-ordered, so
+    queries served from a bucket come back in the same order a full
+    walk would produce.  Shadow trees and iframe documents are *not*
+    indexed — exactly the subtrees ``querySelectorAll`` cannot see
+    (iframe content documents get their own index).
+    """
+
+    __slots__ = ("revision", "order", "all_elements", "by_id", "by_class", "by_tag")
+
+    def __init__(self, document: Document) -> None:
+        self.revision = document.revision
+        self.order: Dict[Element, int] = {}
+        self.all_elements: List[Element] = []
+        self.by_id: Dict[str, List[Element]] = {}
+        self.by_class: Dict[str, List[Element]] = {}
+        self.by_tag: Dict[str, List[Element]] = {}
+        seq = 0
+        for node in document.descendants():
+            if not isinstance(node, Element):
+                continue
+            self.order[node] = seq
+            seq += 1
+            self.all_elements.append(node)
+            self.by_tag.setdefault(node.tag, []).append(node)
+            element_id = node.attrs.get("id")
+            if element_id:
+                self.by_id.setdefault(element_id, []).append(node)
+            class_attr = node.attrs.get("class")
+            if class_attr:
+                # dict.fromkeys dedupes repeated class names ("ad ad")
+                # so no bucket lists an element twice.
+                for name in dict.fromkeys(class_attr.split()):
+                    self.by_class.setdefault(name, []).append(node)
+
+    def candidates(self, step: _Step) -> List[Element]:
+        """A document-ordered superset of the step's possible matches.
+
+        Picks the most selective bucket the compound selector allows
+        (id, then rarest class, then tag); compounds with none of those
+        fall back to the full element list.
+        """
+        if step.element_id is not None:
+            return self.by_id.get(step.element_id, [])
+        if step.classes:
+            best: Optional[List[Element]] = None
+            for name in step.classes:
+                bucket = self.by_class.get(name)
+                if bucket is None:
+                    return []
+                if best is None or len(bucket) < len(best):
+                    best = bucket
+            return best if best is not None else []
+        if step.tag not in (None, "*"):
+            return self.by_tag.get(step.tag, [])
+        return self.all_elements
+
+
+def _usable_index(root: Node) -> Optional[Tuple[_QueryIndex, Optional[Element]]]:
+    """The (index, scope) pair serving queries rooted at *root*, or None.
+
+    *scope* is None when the root is the document itself (no
+    containment filter needed).  Returns None — meaning "walk instead"
+    — when indexing is disabled, the root's tree top is not a
+    :class:`Document` (detached subtrees, shadow trees), or the root
+    is not part of the indexed tree.
+    """
+    if not perf.config.selector_index:
+        return None
+    top = root
+    while top.parent is not None:
+        top = top.parent
+    if not isinstance(top, Document):
+        return None
+    index = top._query_index
+    if index is None or index.revision != top.revision:
+        index = _QueryIndex(top)
+        top._query_index = index
+    if root is top:
+        return index, None
+    if isinstance(root, Element) and root in index.order:
+        return index, root
+    return None
+
+
+def first_element_by_id(document: Document, element_id: str) -> Optional[Element]:
+    """Document-order first element whose ``id`` equals *element_id*.
+
+    Serves ``Document.get_element_by_id`` from the id bucket when the
+    index is usable; empty ids (which only match elements *without* an
+    id attribute) and un-indexed roots fall back to the walk.
+    """
+    if element_id:
+        info = _usable_index(document)
+        if info is not None:
+            index, _ = info
+            bucket = index.by_id.get(element_id, ())
+            return bucket[0] if bucket else None
+    for el in document.elements():
+        if el.id == element_id:
+            return el
+    return None
+
+
+def iter_elements_by_tags(root: Node, tags) -> List[Element]:
+    """Document-order elements under *root* whose tag is in *tags*.
+
+    The index-served equivalent of ``[el for el in root.elements() if
+    el.tag in tags]`` — BannerClick's container and button scans run
+    through this.  Only document-rooted scans use the index: for a
+    subtree root, walking the (usually small) subtree beats filtering
+    page-wide tag buckets through ancestor checks.
+    """
+    if root.parent is None and isinstance(root, Document):
+        info = _usable_index(root)
+        if info is not None:
+            index, _ = info
+            picked: List[Element] = []
+            for tag in tags:
+                bucket = index.by_tag.get(tag)
+                if bucket:
+                    picked.extend(bucket)
+            picked.sort(key=index.order.__getitem__)
+            return picked
+    return [el for el in root.elements() if el.tag in tags]
+
+
+# ---------------------------------------------------------------------------
 # Matching
 # ---------------------------------------------------------------------------
 
 def matches_selector(element: Element, selector: str) -> bool:
     """True when *element* matches any chain in the selector group."""
-    chains = parse_selector(selector)
+    chains = _chains_for(selector)
     return any(_match_chain(element, chain) for chain in chains)
 
 
@@ -295,20 +453,66 @@ def query_selector_all(root: Node, selector: str) -> List[Element]:
     """All elements under *root* matching the selector (document order).
 
     Shadow roots and iframe documents are *not* entered, matching
-    ``querySelectorAll`` semantics.
+    ``querySelectorAll`` semantics.  When the root's document has a
+    valid query index, candidates come from the most selective
+    id/class/tag bucket instead of a full-tree walk.
     """
-    chains = parse_selector(selector)
-    out: List[Element] = []
-    for element in _iter_elements(root):
-        if any(_match_chain(element, chain) for chain in chains):
-            out.append(element)
-    return out
+    chains = _chains_for(selector)
+    info = _usable_index(root)
+    if info is None:
+        return [
+            element
+            for element in _iter_elements(root)
+            if any(_match_chain(element, chain) for chain in chains)
+        ]
+    index, scope = info
+    if len(chains) == 1:
+        chain = chains[0]
+        return [
+            el
+            for el in index.candidates(chain[-1])
+            if (scope is None or el._has_ancestor(scope))
+            and _match_chain(el, chain)
+        ]
+    matched: Dict[Element, int] = {}
+    for chain in chains:
+        for el in index.candidates(chain[-1]):
+            if el in matched:
+                continue
+            if scope is not None and not el._has_ancestor(scope):
+                continue
+            if _match_chain(el, chain):
+                matched[el] = index.order[el]
+    return sorted(matched, key=matched.__getitem__)
 
 
 def query_selector(root: Node, selector: str) -> Optional[Element]:
-    """First match of :func:`query_selector_all`, or None."""
-    results = query_selector_all(root, selector)
-    return results[0] if results else None
+    """First match of :func:`query_selector_all`, or None.
+
+    Early-exits: the indexed path stops at each chain's first
+    document-order candidate, the walk path stops at the first match —
+    neither materialises the full result list.
+    """
+    chains = _chains_for(selector)
+    info = _usable_index(root)
+    if info is None:
+        for element in _iter_elements(root):
+            if any(_match_chain(element, chain) for chain in chains):
+                return element
+        return None
+    index, scope = info
+    best: Optional[Element] = None
+    best_seq = -1
+    for chain in chains:
+        for el in index.candidates(chain[-1]):
+            if scope is not None and not el._has_ancestor(scope):
+                continue
+            if _match_chain(el, chain):
+                seq = index.order[el]
+                if best is None or seq < best_seq:
+                    best, best_seq = el, seq
+                break  # bucket is document-ordered: first hit is the chain's min
+    return best
 
 
 def _iter_elements(root: Node) -> Iterator[Element]:

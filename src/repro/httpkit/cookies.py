@@ -11,6 +11,7 @@ from the visited page's registrable domain.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import CookieError
@@ -48,8 +49,13 @@ class Cookie:
         return (self.name, self.domain, self.path)
 
 
+@lru_cache(maxsize=16384)
 def domain_match(host: str, cookie_domain: str) -> bool:
-    """RFC 6265 §5.1.3 domain-match."""
+    """RFC 6265 §5.1.3 domain-match.
+
+    Memoized: the jar evaluates every stored cookie against every
+    outgoing request URL, over a small recurring set of string pairs.
+    """
     host = host.lower().rstrip(".")
     cookie_domain = cookie_domain.lower().lstrip(".").rstrip(".")
     if host == cookie_domain:

@@ -65,10 +65,14 @@ class Crawler:
         *,
         bannerclick: Optional[BannerClick] = None,
         language_detector: Optional[LanguageDetector] = None,
+        ublock_lists: Optional[Sequence[str]] = None,
     ) -> None:
         self.world = world
         self.bannerclick = bannerclick or BannerClick()
         self._lang = language_detector or LanguageDetector()
+        #: Extra filter-list texts loaded into every uBlock instance of
+        #: the §4.5 measurement (e.g. a full-scale list for benchmarks).
+        self.ublock_lists = list(ublock_lists) if ublock_lists else None
 
     # ------------------------------------------------------------------
     # Detection crawls (Table 1, §4.1)
@@ -402,7 +406,7 @@ class Crawler:
         """Visit with uBlock (Annoyances enabled); check wall and page."""
         record = UBlockRecord(domain=domain, iterations=iterations)
         for _ in range(iterations):
-            ublock = UBlockOrigin(annoyances=True)
+            ublock = UBlockOrigin(annoyances=True, extra_lists=self.ublock_lists)
             browser = self.world.browser(
                 vp, extensions=[ublock], visit_ids=visit_ids
             )

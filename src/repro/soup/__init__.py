@@ -13,6 +13,14 @@ provides the equivalent, end to end:
 """
 
 from repro.soup.api import Soup, make_soup
+from repro.soup.cache import DocumentCache, shared_document_cache
 from repro.soup.parser import parse_document, parse_fragment
 
-__all__ = ["Soup", "make_soup", "parse_document", "parse_fragment"]
+__all__ = [
+    "Soup",
+    "make_soup",
+    "parse_document",
+    "parse_fragment",
+    "DocumentCache",
+    "shared_document_cache",
+]

@@ -9,6 +9,7 @@ exercised on realistic inputs (``example.co.uk`` etc.).
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Optional
 
 #: Suffixes ordered by specificity at lookup time (longest match wins).
@@ -43,8 +44,13 @@ def is_public_suffix(host: str) -> bool:
     return _normalize_host(host) in PUBLIC_SUFFIXES
 
 
+@lru_cache(maxsize=4096)
 def public_suffix(host: str) -> Optional[str]:
     """Return the longest matching public suffix of *host*, or None.
+
+    Memoized: every filter match, DNS resolve, and cookie-scope check
+    funnels through suffix lookups on a small set of hosts, so a
+    bounded cache turns the per-request cost into a dict hit.
 
     >>> public_suffix("news.example.co.uk")
     'co.uk'
@@ -63,6 +69,7 @@ def public_suffix(host: str) -> Optional[str]:
     return None
 
 
+@lru_cache(maxsize=4096)
 def registrable_domain(host: str) -> Optional[str]:
     """Return the eTLD+1 of *host* (the "registrable domain").
 

@@ -10,6 +10,7 @@ ASCII hostnames, as does the paper's target list.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from functools import lru_cache
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import URLError
@@ -199,10 +200,15 @@ def is_same_site(a: "URL | str", b: "URL | str") -> bool:
     return site_a == site_b
 
 
+@lru_cache(maxsize=16384)
 def is_subdomain_of(host: str, parent: str, *, strict: bool = False) -> bool:
     """True when *host* equals or is a subdomain of *parent*.
 
     With ``strict=True`` equality does not count.
+
+    Memoized: this is the innermost comparison of every ``||domain^``
+    filter match and every ``$domain=`` option check, called with a
+    small recurring set of (host, parent) pairs per crawl.
     """
     host = host.lower().rstrip(".")
     parent = parent.lower().rstrip(".")

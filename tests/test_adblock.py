@@ -1,15 +1,23 @@
 """Tests for the filter parser, engine, and uBlock extension."""
 
+from concurrent.futures import ThreadPoolExecutor
+
 import pytest
 
 from repro.adblock import (
     FilterEngine,
+    NaiveFilterEngine,
     UBlockOrigin,
     annoyances_list,
     easylist,
     parse_filter_list,
 )
-from repro.adblock.filters import parse_filter_line, NetworkFilter, CosmeticFilter
+from repro.adblock.filters import (
+    parse_filter_line,
+    good_filter_tokens,
+    NetworkFilter,
+    CosmeticFilter,
+)
 from repro.browser import Browser
 from repro.errors import FilterSyntaxError
 from repro.httpkit import Request
@@ -127,6 +135,71 @@ class TestEngine:
 
     def test_filter_count(self):
         assert self.make_engine().filter_count == 3
+
+
+class TestFilterTokens:
+    def test_bounded_runs_are_good(self):
+        assert good_filter_tokens("/pixel?id=") == ["pixel", "id"]
+
+    def test_edge_and_wildcard_runs_are_excluded(self):
+        # "cdn" touches the start, "net" the "*": either could be a
+        # fragment of a longer token in a matching URL.
+        assert good_filter_tokens("cdn.opencmp.net*") == ["opencmp"]
+
+    def test_separator_is_a_valid_boundary(self):
+        assert good_filter_tokens("/ads^") == ["ads"]
+
+
+@pytest.mark.parametrize("engine_cls", [FilterEngine, NaiveFilterEngine])
+class TestHitCounting:
+    def _engine(self, engine_cls):
+        engine = engine_cls()
+        engine.add_list("||blocked.net^\n@@||blocked.net^$domain=trusted.de\n")
+        return engine
+
+    def test_one_decision_counts_once(self, engine_cls):
+        engine = self._engine(engine_cls)
+        request = req("https://blocked.net/a.js")
+        assert engine.should_block(request)
+        # Introspection after the decision must not inflate the logger.
+        assert engine.explain(request) == "||blocked.net^"
+        assert engine.matching_filter(request).raw == "||blocked.net^"
+        assert dict(engine.hit_counts) == {"||blocked.net^": 1}
+
+    def test_exceptions_attribute_the_hit_to_the_allow_rule(self, engine_cls):
+        engine = self._engine(engine_cls)
+        request = req("https://blocked.net/a.js", initiator="https://trusted.de/")
+        assert not engine.should_block(request)
+        assert dict(engine.hit_counts) == {
+            "@@||blocked.net^$domain=trusted.de": 1
+        }
+
+    def test_logger_ranking(self, engine_cls):
+        engine = engine_cls()
+        engine.add_list("||a.net^\n||b.net^\n")
+        for _ in range(3):
+            engine.should_block(req("https://a.net/x.js"))
+        engine.should_block(req("https://b.net/x.js"))
+        engine.explain(req("https://a.net/x.js"))  # must not count
+        assert engine.top_filters() == [("||a.net^", 3), ("||b.net^", 1)]
+
+    def test_shared_engine_concurrent_counts_are_exact(self, engine_cls):
+        """Regression: a shared engine under the parallel executor must
+        not drop hit-count increments."""
+        engine = engine_cls()
+        engine.add_list("||hot.net^\n")
+        request = req("https://hot.net/x.js")
+        per_thread, threads = 500, 8
+        with ThreadPoolExecutor(max_workers=threads) as pool:
+            list(
+                pool.map(
+                    lambda _: [
+                        engine.should_block(request) for _ in range(per_thread)
+                    ],
+                    range(threads),
+                )
+            )
+        assert engine.hit_counts["||hot.net^"] == per_thread * threads
 
 
 class TestBuiltinLists:
