@@ -17,7 +17,9 @@ True
 from repro.api.result import RESULT_VERSION, RunFailure, RunResult
 from repro.api.session import Session, iter_run_records, run
 from repro.api.spec import (
+    EXECUTOR_BACKENDS,
     MEASURE_MODES,
+    MERGE_MODES,
     RUN_KINDS,
     CrawlSpec,
     EngineSpec,
@@ -32,9 +34,11 @@ from repro.api.spec import (
 __all__ = [
     "CrawlSpec",
     "EngineSpec",
+    "EXECUTOR_BACKENDS",
     "LongitudinalSpec",
     "MeasureSpec",
     "MEASURE_MODES",
+    "MERGE_MODES",
     "OutputSpec",
     "RESULT_VERSION",
     "RUN_KINDS",

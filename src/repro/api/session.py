@@ -211,10 +211,20 @@ class Session:
                 "--resume requires an output path (--out / output.path: "
                 "the checkpoint lives next to the spool)"
             )
+        if self.engine_spec.merge == "spool" and spool_path is None:
+            # Silently merging in memory when the caller asked for the
+            # O(shard-buffer) mode would be the resume-ignored bug all
+            # over again; the engine refuses this too.
+            raise SpecError(
+                "--merge spool requires an output path (--out / "
+                "output.path: the shard spools are joined into it)"
+            )
         engine = CrawlEngine(
             crawler if crawler is not None else self.crawler,
             workers=self.engine_spec.workers,
             shards=self.engine_spec.shards,
+            backend=self.engine_spec.executor,
+            merge=self.engine_spec.merge,
             retry=self.retry,
             event_log=self.event_log,
             progress=progress if progress is not None else self.progress,
@@ -264,13 +274,15 @@ class Session:
         domains = list(spec.domains) if spec.domains is not None else None
         if domains is None:
             # The in-memory pre-pass never spools, so it must not run
-            # under resume (which requires a checkpoint); only the
-            # measurement plan itself resumes.
+            # under resume (which requires a checkpoint) or the spool
+            # merge (which requires an output path); only the
+            # measurement plan itself resumes/streams.
+            finder_engine = dataclasses.replace(
+                self.engine_spec, resume=False, merge="memory"
+            )
             finder = (
-                self._with_engine(
-                    dataclasses.replace(self.engine_spec, resume=False)
-                )
-                if self.engine_spec.resume else self
+                self._with_engine(finder_engine)
+                if finder_engine != self.engine_spec else self
             )
             detection = finder.crawl(CrawlSpec(vps=(spec.vp,)))
             domains = CrawlResult(
@@ -303,6 +315,14 @@ class Session:
         parallelises, retries, spools, and resumes like any crawl.
         The returned result's :attr:`~RunResult.campaign` is the live
         :class:`~repro.measure.longitudinal.LongitudinalRun`.
+
+        Note on ``merge="spool"``: the wave *files* are still produced
+        by the streaming join (byte-identical, resumable), but the
+        drift analysis (``compare_rounds``/``smp_growth``) consumes
+        every wave's records, so this method materialises them —
+        longitudinal memory is O(campaign records) whichever merge
+        mode runs the engine.  Streaming the analysis layer is a
+        ROADMAP direction, not a promise this method makes.
         """
         spec = spec if spec is not None else LongitudinalSpec()
         spec.validate()
@@ -460,12 +480,28 @@ class Session:
         output: OutputSpec,
         result: EngineResult,
     ) -> RunResult:
+        spec = self._spec(kind, sections, output)
+        failures = [self._failure(o) for o in result.failures]
+        if result.streamed:
+            # Spool-merged engine runs never materialise their records;
+            # the RunResult stays lazy over the final JSONL, preserving
+            # the engine's O(shard buffer) memory behaviour end to end.
+            return RunResult(
+                spec,
+                records=None,
+                spool_paths=(output.path,) if output.path else (),
+                failures=failures,
+                elapsed=result.elapsed,
+                executed=result.executed,
+                resumed=result.resumed,
+                record_count=result.record_count,
+            )
         records = result.records
         return RunResult(
-            self._spec(kind, sections, output),
+            spec,
             records=records,
             spool_paths=(output.path,) if output.path else (),
-            failures=[self._failure(o) for o in result.failures],
+            failures=failures,
             elapsed=result.elapsed,
             executed=result.executed,
             resumed=result.resumed,

@@ -87,6 +87,15 @@ class WorldSpec:
         return cls(**data)
 
 
+#: Executor backends `EngineSpec.executor` can name (``None`` = the
+#: historical rule: serial when ``workers == 1``, threads otherwise).
+EXECUTOR_BACKENDS = ("serial", "thread", "process")
+
+#: Merge strategies: in-memory plan-order assembly, or the streaming
+#: k-way join over per-shard spools (O(shard buffer) memory).
+MERGE_MODES = ("memory", "spool")
+
+
 @dataclass(frozen=True)
 class EngineSpec:
     """How the crawl engine executes the plan."""
@@ -94,6 +103,14 @@ class EngineSpec:
     workers: int = 1
     #: ``None`` keeps the engine default (1 serial, 4 × workers parallel).
     shards: Optional[int] = None
+    #: Executor backend (serial/thread/process); ``None`` keeps the
+    #: workers-based rule.  The process backend sidesteps the GIL for
+    #: compute-bound crawls but requires a picklable campaign (stock
+    #: crawler over a built world — see the engine docs).
+    executor: Optional[str] = None
+    #: ``"memory"`` merges in memory; ``"spool"`` streams shard output
+    #: to per-shard spools and k-way-joins them (needs an output path).
+    merge: str = "memory"
     retry_max_attempts: int = 2
     retry_unreachable: bool = False
     #: Checkpoint every run that has a spool path (``<out>.checkpoint``).
@@ -105,6 +122,21 @@ class EngineSpec:
             raise SpecError(f"engine.workers must be >= 1, got {self.workers}")
         if self.shards is not None and self.shards < 1:
             raise SpecError(f"engine.shards must be >= 1, got {self.shards}")
+        if self.executor is not None and self.executor not in EXECUTOR_BACKENDS:
+            raise SpecError(
+                "engine.executor must be one of "
+                f"{', '.join(EXECUTOR_BACKENDS)}, got {self.executor!r}"
+            )
+        if self.executor == "serial" and self.workers > 1:
+            raise SpecError(
+                "engine.executor='serial' contradicts engine.workers > 1 "
+                "(pick 'thread' or 'process' to parallelise)"
+            )
+        if self.merge not in MERGE_MODES:
+            raise SpecError(
+                f"engine.merge must be one of {', '.join(MERGE_MODES)}, "
+                f"got {self.merge!r}"
+            )
         if self.retry_max_attempts < 1:
             raise SpecError(
                 "engine.retry_max_attempts must be >= 1, "
@@ -270,6 +302,20 @@ class RunSpec:
                 raise SpecError(
                     "--resume requires an output path (--out / "
                     "output.path: the checkpoint lives next to the spool)"
+                )
+        if self.engine.merge == "spool":
+            # The streaming merge joins per-shard spools into a final
+            # file — without one there is nothing to stream to.
+            if self.kind == "longitudinal" and self.output.out_dir is None:
+                raise SpecError(
+                    "longitudinal --merge spool requires --out-dir "
+                    "(output.out_dir: the per-shard spools live next to "
+                    "the wave files)"
+                )
+            if self.kind != "longitudinal" and self.output.path is None:
+                raise SpecError(
+                    "--merge spool requires an output path (--out / "
+                    "output.path: shard spools are joined into it)"
                 )
         return self
 

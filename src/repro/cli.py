@@ -78,6 +78,21 @@ def _add_engine_args(parser: argparse.ArgumentParser) -> None:
              "parallel; tasks are sharded by a stable domain hash)",
     )
     parser.add_argument(
+        "--executor", choices=("serial", "thread", "process"),
+        default=argparse.SUPPRESS,
+        help="executor backend (default: serial when --workers 1, thread "
+             "otherwise; process sidesteps the GIL for compute-bound "
+             "crawls — final JSONL is byte-identical across backends)",
+    )
+    parser.add_argument(
+        "--merge", choices=("memory", "spool"),
+        default=argparse.SUPPRESS,
+        help="merge strategy (default memory; spool streams shard output "
+             "to per-shard files and k-way-joins them, keeping memory "
+             "O(one shard) for very large worlds — requires an output "
+             "path)",
+    )
+    parser.add_argument(
         "--resume", action="store_true", default=argparse.SUPPRESS,
         help="resume an interrupted run from its checkpoint "
              "(<out>.checkpoint); refuses when the checkpoint fingerprint "
@@ -281,6 +296,10 @@ def _compile_spec(kind: str, args: argparse.Namespace):
         overrides["engine"]["workers"] = args.workers
     if given("shards"):
         overrides["engine"]["shards"] = args.shards
+    if given("executor"):
+        overrides["engine"]["executor"] = args.executor
+    if given("merge"):
+        overrides["engine"]["merge"] = args.merge
     if given("resume"):
         overrides["engine"]["resume"] = True
     if kind == "crawl":
@@ -313,7 +332,6 @@ def _run_spec_command(kind: str, args: argparse.Namespace) -> int:
     """Compile and execute one spec-backed subcommand via a Session."""
     from repro.api import Session, SpecError
     from repro.measure import CheckpointMismatch
-    from repro.measure.crawl import CrawlResult
 
     try:
         spec = _compile_spec(kind, args)
@@ -336,7 +354,12 @@ def _run_spec_command(kind: str, args: argparse.Namespace) -> int:
         if result.resumed else ""
     )
     if kind == "crawl":
-        walls = len(CrawlResult(records=result.records).cookiewall_domains())
+        # Streamed, not materialised: a spool-merged crawl of a huge
+        # world must stay O(1) in the summary pass too.
+        walls = len({
+            r.domain for r in result.iter_records()
+            if getattr(r, "is_cookiewall", False)
+        })
         print(f"wrote {result.record_count} records to {spec.output.path} "
               f"({walls} unique cookiewall domains{resumed})")
     elif kind == "measure":

@@ -9,6 +9,7 @@ jar with first/third-party awareness).
 from repro.httpkit.cookies import (
     Cookie,
     CookieJar,
+    NaiveCookieJar,
     domain_match,
     parse_cookie_header,
     parse_set_cookie,
@@ -22,6 +23,7 @@ __all__ = [
     "Response",
     "Cookie",
     "CookieJar",
+    "NaiveCookieJar",
     "parse_set_cookie",
     "parse_cookie_header",
     "domain_match",

@@ -153,20 +153,72 @@ def parse_set_cookie(header: str, request_url: URL) -> Cookie:
 
 
 class CookieJar:
-    """Stores cookies and answers matching + party-ness queries."""
+    """Stores cookies and answers matching + party-ness queries.
+
+    :meth:`cookies_for` is the hottest jar query — the browser calls
+    it for every outgoing request — so cookies are bucketed by the
+    registrable domain of their cookie-domain: a request can only
+    carry cookies whose domain the request host domain-matches, and a
+    domain-match implies a shared registrable domain, so one bucket
+    lookup replaces the scan over every stored cookie.  Cookies whose
+    domain has no registrable domain (bare public suffixes, unknown
+    TLDs, ``localhost``) land in a small catch-all bucket that is
+    always scanned.  Results keep global insertion order (replacing a
+    cookie keeps its original position, exactly like the pre-index
+    dict scan), so the emitted ``Cookie`` headers are unchanged
+    byte-for-byte — :class:`NaiveCookieJar` preserves the linear scan
+    as the differential oracle.
+    """
 
     def __init__(self) -> None:
         self._cookies: Dict[Tuple[str, str, str], Cookie] = {}
+        #: registrable domain -> key -> cookie (the hot-path index).
+        self._site_index: Dict[str, Dict[Tuple[str, str, str], Cookie]] = {}
+        #: Cookies whose domain has no registrable domain.
+        self._unbucketed: Dict[Tuple[str, str, str], Cookie] = {}
+        #: key -> global insertion rank (replacement keeps the rank,
+        #: mirroring dict-order semantics of the pre-index jar).
+        self._rank: Dict[Tuple[str, str, str], int] = {}
+        self._next_rank = 0
 
     # ------------------------------------------------------------------
     # Mutation
     # ------------------------------------------------------------------
+    def _bucket(self, cookie: Cookie) -> Dict[Tuple[str, str, str], Cookie]:
+        site = registrable_domain(cookie.domain)
+        if site is None:
+            return self._unbucketed
+        return self._site_index.setdefault(site, {})
+
+    def _discard(self, key: Tuple[str, str, str]) -> Optional[Cookie]:
+        cookie = self._cookies.pop(key, None)
+        if cookie is None:
+            return None
+        self._rank.pop(key, None)
+        site = registrable_domain(cookie.domain)
+        if site is None:
+            self._unbucketed.pop(key, None)
+        else:
+            bucket = self._site_index.get(site)
+            if bucket is not None:
+                bucket.pop(key, None)
+                if not bucket:
+                    del self._site_index[site]
+        return cookie
+
     def set_cookie(self, cookie: Cookie) -> None:
         """Insert or replace a cookie (expired cookies delete)."""
+        key = cookie.key()
         if cookie.expired:
-            self._cookies.pop(cookie.key(), None)
+            self._discard(key)
             return
-        self._cookies[cookie.key()] = cookie
+        if key not in self._rank:
+            self._rank[key] = self._next_rank
+            self._next_rank += 1
+        # The key embeds the domain, so a replacement lands in the
+        # same bucket — overwrite both stores in place.
+        self._cookies[key] = cookie
+        self._bucket(cookie)[key] = cookie
 
     def set_from_header(self, header: str, request_url: URL) -> Optional[Cookie]:
         """Parse and store a Set-Cookie header; None when rejected."""
@@ -187,10 +239,16 @@ class CookieJar:
         if site is None:
             count = len(self._cookies)
             self._cookies.clear()
+            self._site_index.clear()
+            self._unbucketed.clear()
+            self._rank.clear()
+            self._next_rank = 0
             return count
-        keys = [k for k, c in self._cookies.items() if c.site == site]
+        # ``cookie.site`` *is* the bucket key, so the site's bucket is
+        # exactly the set the linear scan would have found.
+        keys = list(self._site_index.get(site, ()))
         for key in keys:
-            del self._cookies[key]
+            self._discard(key)
         return len(keys)
 
     # ------------------------------------------------------------------
@@ -205,6 +263,29 @@ class CookieJar:
     def __iter__(self):
         return iter(self.all_cookies())
 
+    def _candidates(self, host: str) -> List[Cookie]:
+        """Cookies that could possibly domain-match *host*, in global
+        insertion order.
+
+        A domain-match requires the request host to end with the
+        cookie domain at a label boundary, which forces both onto the
+        same registrable domain — so only *host*'s bucket plus the
+        unbucketable catch-all can match.  A host with no registrable
+        domain of its own can still exact/suffix-match an unbucketed
+        cookie domain, so those always stay in the pool.
+        """
+        site = registrable_domain(host)
+        bucket = self._site_index.get(site) if site is not None else None
+        if not self._unbucketed:
+            if not bucket:
+                return []
+            return list(bucket.values())
+        if not bucket:
+            return list(self._unbucketed.values())
+        merged = list(bucket.values()) + list(self._unbucketed.values())
+        merged.sort(key=lambda cookie: self._rank[cookie.key()])
+        return merged
+
     def cookies_for(self, url: URL, *, first_party_site: Optional[str] = None) -> List[Cookie]:
         """Cookies a request to *url* would carry.
 
@@ -212,7 +293,7 @@ class CookieJar:
         cookies are withheld on cross-site requests.
         """
         out = []
-        for cookie in self._cookies.values():
+        for cookie in self._candidates(url.host):
             if cookie.host_only:
                 if url.host != cookie.domain:
                     continue
@@ -257,6 +338,29 @@ class CookieJar:
 
     def snapshot(self) -> "CookieJar":
         """An independent copy of the jar."""
-        copy = CookieJar()
+        copy = type(self)()
         copy._cookies = dict(self._cookies)
+        copy._site_index = {
+            site: dict(bucket) for site, bucket in self._site_index.items()
+        }
+        copy._unbucketed = dict(self._unbucketed)
+        copy._rank = dict(self._rank)
+        copy._next_rank = self._next_rank
         return copy
+
+
+class NaiveCookieJar(CookieJar):
+    """The pre-index jar: :meth:`cookies_for` scans every stored cookie.
+
+    Kept as the differential oracle (mirroring
+    :class:`repro.adblock.NaiveFilterEngine`): the indexed jar must
+    answer every query exactly like this linear scan, list order
+    included — ``tests/test_hotpaths_differential.py`` holds the two
+    implementations together under randomized cookie workloads.  Only
+    candidate selection is overridden; the matching predicate itself
+    is shared, so the oracle diverges on indexing bugs and nothing
+    else.
+    """
+
+    def _candidates(self, host: str) -> List[Cookie]:
+        return list(self._cookies.values())

@@ -10,6 +10,8 @@ merge; see :mod:`repro.measure.engine`).
 from repro.measure.cookies_analysis import CookieCounts, count_cookies
 from repro.measure.crawl import Crawler, CrawlResult
 from repro.measure.engine import (
+    EXECUTOR_BACKENDS,
+    MERGE_MODES,
     CheckpointCompaction,
     CheckpointMismatch,
     CrawlEngine,
@@ -17,7 +19,9 @@ from repro.measure.engine import (
     CrawlTask,
     EngineResult,
     FaultInjectingExecutor,
+    FaultInjectingProcessExecutor,
     ParallelExecutor,
+    ProcessExecutor,
     RetryPolicy,
     SerialExecutor,
     TaskOutcome,
@@ -44,7 +48,11 @@ __all__ = [
     "RetryPolicy",
     "SerialExecutor",
     "ParallelExecutor",
+    "ProcessExecutor",
     "FaultInjectingExecutor",
+    "FaultInjectingProcessExecutor",
+    "EXECUTOR_BACKENDS",
+    "MERGE_MODES",
     "VisitRecord",
     "CookieMeasurement",
     "CookieCounts",

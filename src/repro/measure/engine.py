@@ -19,25 +19,66 @@ loop.  This module turns that loop into an explicit subsystem:
    so the same plan always shards the same way on every machine and
    run.  Within a shard, tasks keep plan order.
 
-3. **Execute.**  A pluggable executor runs the shards:
-   :class:`SerialExecutor` walks them in shard order on the calling
-   thread; :class:`ParallelExecutor` dispatches one shard at a time to
-   a ``ThreadPoolExecutor`` with ``workers`` threads.  Threads suit
-   this workload because real crawls are network-bound — the netsim
-   mirrors that via ``Network.latency`` — and every task builds its own
-   browser and cookie jar, so no mutable state is shared.  Each task
+3. **Execute.**  A pluggable executor runs the shards, selected by
+   ``backend`` (surfaced as ``EngineSpec.executor`` / ``--executor``):
+
+   - ``"serial"`` — :class:`SerialExecutor` walks the shards in shard
+     order on the calling thread.
+   - ``"thread"`` — :class:`ParallelExecutor` dispatches one shard at
+     a time to a ``ThreadPoolExecutor`` with ``workers`` threads.
+     Threads suit network-bound crawls — the netsim mirrors that via
+     ``Network.latency`` — since every task builds its own browser and
+     cookie jar, so no mutable state is shared.
+   - ``"process"`` — :class:`ProcessExecutor` ships each shard to a
+     worker *process* as a picklable task bundle (world key + task
+     list + per-task visit-id stream seeds) and gets serialized
+     outcomes back.  Processes sidestep the GIL, so this is the
+     backend for compute-bound scale-out (the netsim at zero
+     latency, heavy filter matching, parsing).  Workers rebuild the
+     world deterministically from its (seed, scale, evolution) key —
+     or, under the default ``fork`` start method, inherit the
+     parent's already-built world for free — so the bundle stays
+     small.  See *Pickling constraints* below.
+
+   With no explicit backend the engine keeps its historical rule:
+   ``workers == 1`` is serial, ``workers > 1`` is threads.  Each task
    runs under a :class:`RetryPolicy` (transient ``NetworkError``-family
    failures are retried, then recorded as a failed
    :class:`TaskOutcome` rather than aborting the crawl).
 
 4. **Merge.**  Outcomes are re-assembled in **plan order** (their
-   canonical order) regardless of which worker finished first.  With a
-   ``spool_path``, shard output is additionally appended to a
-   ``<path>.partial`` JSONL file as shards finish — crash durability
-   and live inspection, not a memory saving: the merge still holds
-   every outcome — and on success the final file is written in
-   canonical order and the partial removed, so an interrupted run
-   never clobbers a previous complete output.
+   canonical order) regardless of which worker finished first, in one
+   of two modes:
+
+   - ``merge="memory"`` (default): the merge holds every outcome and,
+     with a ``spool_path``, shard output is additionally appended to
+     a ``<path>.partial`` JSONL file as shards finish — crash
+     durability and live inspection, not a memory saving — and on
+     success the final file is written in canonical order and the
+     partial removed, so an interrupted run never clobbers a previous
+     complete output.
+   - ``merge="spool"``: each finished shard streams its outcomes to a
+     private ``<path>.shardNNNN.part`` JSONL spool (plan-index-sorted
+     by construction) and the final file is produced by a k-way
+     plan-order streaming join (:func:`~repro.measure.storage.
+     merge_record_spools`), so peak memory is O(one shard's buffer)
+     rather than O(world) — the mode for worlds far beyond paper
+     scale.  The returned :class:`EngineResult` carries counts and
+     the (small) failure list instead of materialised outcomes;
+     records stream lazily from the final spool.  Both modes produce
+     byte-identical files.
+
+Pickling constraints (process backend)
+--------------------------------------
+A shard bundle must reconstruct the crawl inside another process, so
+the process backend requires the stock :class:`~repro.measure.crawl.
+Crawler` over a world built by ``build_world(seed=…, scale=…)``
+(identified by seed, scale, and evolution months; ``Network.latency``,
+``ublock_lists``, and the live BannerClick/language-detector
+instances travel in the bundle, so configured detectors behave
+identically in a worker).  Crawler subclasses, hand-assembled or
+knob-tuned worlds, and unpicklable detectors are refused with a
+clear error — use the thread backend for those.
 
 Checkpoints and resume
 ----------------------
@@ -94,13 +135,18 @@ from __future__ import annotations
 import hashlib
 import itertools
 import json
+import multiprocessing
+import os
+import signal
 import threading
 import time
 import zlib
+from concurrent.futures import ProcessPoolExecutor as _PyProcessPool
 from concurrent.futures import ThreadPoolExecutor as _PyThreadPool
+from concurrent.futures import as_completed
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Tuple, Union
+from typing import Callable, Dict, Iterator, List, Optional, Tuple, Union
 
 from repro.errors import NetworkError
 from repro.measure.instrumentation import Event, EventLog
@@ -108,6 +154,9 @@ from repro.measure.storage import (
     decode_record,
     encode_record,
     iter_jsonl,
+    iter_records,
+    load_records,
+    merge_record_spools,
     save_records,
 )
 from repro.rng import derive_seed
@@ -118,6 +167,14 @@ CHECKPOINT_VERSION = 1
 
 #: Task modes the engine knows how to dispatch (see ``Crawler.run_task``).
 TASK_MODES = ("detect", "accept", "reject", "subscription", "ublock")
+
+#: Executor backends selectable by name (``EngineSpec.executor`` /
+#: ``--executor``); ``None`` keeps the historical workers-based rule.
+EXECUTOR_BACKENDS = ("serial", "thread", "process")
+
+#: Merge strategies: in-memory plan-order assembly, or the k-way
+#: streaming join over per-shard spools (O(shard buffer) memory).
+MERGE_MODES = ("memory", "spool")
 
 #: ``progress(done, total, task)`` — invoked after every completed task.
 ProgressHook = Callable[[int, int, "CrawlTask"], None]
@@ -238,6 +295,163 @@ class RetryPolicy:
     retry_unreachable: bool = False
 
 
+def _execute_task(
+    crawler,
+    task: CrawlTask,
+    context: Optional[Dict],
+    retry: RetryPolicy,
+    visit_ids,
+    on_retry: Callable[[int, str], None],
+) -> Tuple[Optional[object], Optional[str], int]:
+    """Run one task under *retry*; returns ``(record, error, attempts)``.
+
+    The single retry loop shared by the in-process engine and the
+    process-backend workers, so both backends have identical retry
+    semantics by construction.
+    """
+    attempts = 0
+    while True:
+        attempts += 1
+        try:
+            record = crawler.run_task(task, context, visit_ids=visit_ids)
+        except retry.retry_on as exc:
+            if attempts >= retry.max_attempts:
+                return None, type(exc).__name__, attempts
+            on_retry(attempts, type(exc).__name__)
+        else:
+            if (
+                retry.retry_unreachable
+                and task.mode == "detect"
+                and getattr(record, "reachable", True) is False
+                and attempts < retry.max_attempts
+            ):
+                on_retry(
+                    attempts, getattr(record, "error", None) or "unreachable"
+                )
+                continue
+            return record, None, attempts
+
+
+# ---------------------------------------------------------------------------
+# Process-backend worker side
+# ---------------------------------------------------------------------------
+
+#: Worlds exported by the parent before the pool starts.  Under the
+#: ``fork`` start method workers inherit this populated dict and skip
+#: the rebuild entirely; under ``spawn`` it starts empty and the first
+#: shard of each world pays one deterministic ``build_world``.
+_SHARED_WORLDS: Dict[Tuple, object] = {}
+
+#: Per-process world cache keyed by world key, for spawn-started
+#: workers that had to rebuild (fork-started ones use _SHARED_WORLDS).
+_WORKER_WORLDS: Dict[Tuple, object] = {}
+
+#: Run-constant state a worker shares across its shards (world key,
+#: detectors, retry policy, plan context).  Installed once per worker
+#: by the pool initializer instead of travelling in every bundle, so
+#: e.g. a multi-MB ublock_lists payload pickles per *worker*, not per
+#: shard.
+_WORKER_SHARED: Dict[str, object] = {}
+
+
+def _init_worker_shared(shared: Dict[str, object]) -> None:
+    """Pool initializer: install the run-constant half of the bundles."""
+    _WORKER_SHARED.clear()
+    _WORKER_SHARED.update(shared)
+
+
+def _task_id_base(world_seed: int, task: CrawlTask) -> int:
+    """The per-task visit-id stream seed (one derivation, all backends).
+
+    Both the in-process engine and the process-backend bundles derive
+    stream seeds through this function, so the cross-backend
+    byte-identity contract cannot be broken by editing one copy.
+    """
+    return derive_seed(
+        world_seed, "engine-task-visits",
+        task.vp, task.domain, task.mode, task.repeats,
+    )
+
+
+def _id_stream(base: int) -> Callable[[], int]:
+    """The deterministic visit-id stream rooted at *base*."""
+    counter = itertools.count()
+    return lambda: derive_seed(base, next(counter))
+
+
+def _worker_world(world_key: Tuple, latency: float):
+    """The (cached or fork-inherited) world a worker process uses."""
+    world = _SHARED_WORLDS.get(world_key) or _WORKER_WORLDS.get(world_key)
+    if world is None:
+        # Imported lazily — repro.measure.crawl imports this module.
+        from repro.webgen.evolve import evolve_world
+        from repro.webgen.world import build_world
+
+        seed, scale, evolution = world_key
+        world = build_world(scale=scale, seed=seed)
+        if evolution:
+            world, _ = evolve_world(world, months=evolution)
+        _WORKER_WORLDS[world_key] = world
+    world.network.latency = latency
+    return world
+
+
+def _run_shard_bundle(bundle: Dict) -> Dict:
+    """Execute one picklable shard bundle inside a worker process.
+
+    Returns serialized outcomes (records pass through
+    :func:`~repro.measure.storage.encode_record`, the same canonical
+    form checkpoints use) plus the worker's pid and elapsed time, so
+    the parent can attribute per-process throughput.
+    """
+    started = time.perf_counter()
+    from repro.measure.crawl import Crawler
+
+    shared = _WORKER_SHARED
+    crawler = Crawler(
+        _worker_world(tuple(shared["world"]), shared["latency"]),
+        bannerclick=shared["bannerclick"],
+        language_detector=shared["language_detector"],
+        ublock_lists=shared["ublock_lists"],
+    )
+    retry: RetryPolicy = shared["retry"]
+    context = shared["context"]
+    kill_after = bundle.get("kill_after")
+    outcomes: List[Dict] = []
+    retries: List[Dict] = []
+    for position, (index, vp, domain, mode, repeats) in enumerate(
+        bundle["tasks"]
+    ):
+        if kill_after is not None and position >= kill_after:
+            # Fault injection: die the way a real worker does — no
+            # cleanup, no exception, just gone (see
+            # FaultInjectingProcessExecutor).
+            os.kill(os.getpid(), signal.SIGKILL)
+        task = CrawlTask(vp=vp, domain=domain, mode=mode, repeats=repeats)
+        base = bundle["id_bases"].get(index)
+        visit_ids = _id_stream(base) if base is not None else None
+        record, error, attempts = _execute_task(
+            crawler, task, context, retry, visit_ids,
+            lambda attempt, err: retries.append({
+                "index": index, "vp": vp, "domain": domain, "mode": mode,
+                "attempt": attempt, "error": err,
+            }),
+        )
+        outcomes.append({
+            "index": index,
+            "attempts": attempts,
+            "error": error,
+            "record": encode_record(record) if record is not None else None,
+        })
+    return {
+        "shard": bundle["shard"],
+        "pid": os.getpid(),
+        "elapsed": time.perf_counter() - started,
+        "outcomes": outcomes,
+        "retries": retries,
+    }
+
+
 @dataclass(frozen=True)
 class CheckpointCompaction:
     """What :meth:`CrawlEngine.compact_checkpoint` did to one file."""
@@ -258,25 +472,71 @@ class CheckpointCompaction:
 
 @dataclass
 class EngineResult:
-    """Merged outcomes of one engine run, in canonical (plan) order."""
+    """Merged outcomes of one engine run, in canonical (plan) order.
 
-    outcomes: List[TaskOutcome] = field(default_factory=list)
+    In the default in-memory merge, :attr:`outcomes` holds every
+    :class:`TaskOutcome`.  Under ``merge="spool"`` the outcomes were
+    streamed to disk instead: :attr:`outcomes` is ``None``, the final
+    records live at :attr:`spool_path` (stream them with
+    :meth:`iter_records`; :attr:`records` materialises them on
+    demand), and only the counts plus the — small — permanent-failure
+    list are kept in memory.
+    """
+
+    outcomes: Optional[List[TaskOutcome]] = field(default_factory=list)
     elapsed: float = 0.0
     #: Outcomes replayed from a checkpoint rather than executed.
     resumed: int = 0
+    #: Spool-merge mode only: where the merged records were written.
+    spool_path: Optional[Path] = None
+    #: Spool-merge mode only: total task count (``len(plan)``).
+    total: Optional[int] = None
+    #: Spool-merge mode only: records written to :attr:`spool_path`.
+    spooled_records: int = 0
+    #: Spool-merge mode only: the permanently failed outcomes.
+    spooled_failures: List[TaskOutcome] = field(default_factory=list)
+
+    @property
+    def streamed(self) -> bool:
+        """True when this result was spool-merged (outcomes on disk)."""
+        return self.outcomes is None
 
     @property
     def executed(self) -> int:
         """Tasks actually run this invocation (resumed ones excluded)."""
-        return len(self.outcomes) - self.resumed
+        return len(self) - self.resumed
 
     @property
     def records(self) -> List[object]:
-        """The produced records, plan-ordered, skipping failed tasks."""
+        """The produced records, plan-ordered, skipping failed tasks.
+
+        For a spool-merged result this *materialises* the full list
+        from disk — prefer :meth:`iter_records` at scale.
+        """
+        if self.outcomes is None:
+            return load_records(self.spool_path)
         return [o.record for o in self.outcomes if o.record is not None]
+
+    def iter_records(self) -> Iterator[object]:
+        """Stream the records in plan order without materialising."""
+        if self.outcomes is None:
+            yield from iter_records(self.spool_path)
+            return
+        for outcome in self.outcomes:
+            if outcome.record is not None:
+                yield outcome.record
+
+    @property
+    def record_count(self) -> int:
+        """Number of produced records (no materialisation needed)."""
+        if self.outcomes is None:
+            return self.spooled_records
+        return sum(1 for o in self.outcomes if o.record is not None)
 
     @property
     def failures(self) -> List[TaskOutcome]:
+        if self.outcomes is None:
+            return list(self.spooled_failures)
         return [o for o in self.outcomes if o.error is not None]
 
     @property
@@ -288,6 +548,8 @@ class EngineResult:
         return self.executed / self.elapsed
 
     def __len__(self) -> int:
+        if self.outcomes is None:
+            return self.total if self.total is not None else 0
         return len(self.outcomes)
 
 
@@ -359,6 +621,108 @@ class FaultInjectingExecutor(ParallelExecutor):
         return super().run(sharded, wrapped)
 
 
+class ProcessExecutor(Executor):
+    """Runs shards in worker *processes* (``ProcessPoolExecutor``).
+
+    The closure-based :meth:`Executor.run` contract cannot cross a
+    process boundary, so this executor instead consumes picklable
+    shard bundles built by the engine (:meth:`CrawlEngine.
+    _process_bundle`) and hands each completed shard's serialized
+    payload back through a callback — in completion order, so the
+    engine checkpoints and spools shards exactly as eagerly as it
+    does under threads.
+
+    The start method defaults to ``fork`` where available (workers
+    inherit the parent's already-built world through
+    ``_SHARED_WORLDS`` for free) and falls back to ``spawn``, where
+    each worker deterministically rebuilds the world from its key on
+    first use.
+    """
+
+    uses_processes = True
+
+    def __init__(self, workers: int, *, start_method: Optional[str] = None):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        self.start_method = start_method
+
+    def _mp_context(self):
+        method = self.start_method
+        if method is None:
+            available = multiprocessing.get_all_start_methods()
+            method = "fork" if "fork" in available else "spawn"
+        return multiprocessing.get_context(method)
+
+    def bundle_overrides(self, shard_id: int, task_count: int) -> Dict:
+        """Extra bundle keys for *shard_id* (the fault-injection hook)."""
+        return {}
+
+    def run_bundles(
+        self,
+        bundles: List[Dict],
+        on_shard: Callable[[Dict], None],
+        shared: Dict[str, object],
+    ) -> None:
+        """Run *bundles*, invoking *on_shard* per completed payload.
+
+        *shared* is the run-constant half of the work (world key,
+        detectors, retry policy, context), installed once per worker
+        via the pool initializer rather than pickled into every
+        bundle.
+
+        A worker that dies (or a bundle that raises) surfaces here as
+        the pool's exception, after the shards whose results were
+        already delivered have been absorbed.  Note the broken-pool
+        caveat: when a worker dies, ``concurrent.futures`` voids *all*
+        unfinished futures — including shards mid-flight in healthy
+        sibling workers — so those shards simply re-run on resume.
+        Correctness is unaffected (the checkpoint holds exactly the
+        delivered shards); the amount of re-executed work under a
+        multi-worker crash is scheduling-dependent.
+        """
+        with _PyProcessPool(
+            max_workers=self.workers,
+            mp_context=self._mp_context(),
+            initializer=_init_worker_shared,
+            initargs=(shared,),
+        ) as pool:
+            futures = [
+                pool.submit(_run_shard_bundle, bundle) for bundle in bundles
+            ]
+            for future in as_completed(futures):
+                on_shard(future.result())
+
+
+class FaultInjectingProcessExecutor(ProcessExecutor):
+    """Chaos harness for the process backend: the chosen shards'
+    workers SIGKILL themselves after completing half their tasks —
+    byte-for-byte what the OOM killer or a pod eviction does to a real
+    worker.  The engine run fails with the pool's
+    ``BrokenProcessPool``; shards whose results were delivered before
+    the kill stay checkpointed, while shards still in flight (in the
+    killed worker *or* — with multiple workers — in siblings, which a
+    broken pool voids too) re-run on resume.  Tests pin ``workers=1``
+    where they need the set of checkpointed shards deterministic.
+    Used by the kill/resume tests; never the default.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        kill_shards,
+        *,
+        start_method: Optional[str] = None,
+    ):
+        super().__init__(workers, start_method=start_method)
+        self.kill_shards = set(kill_shards)
+
+    def bundle_overrides(self, shard_id: int, task_count: int) -> Dict:
+        if shard_id in self.kill_shards:
+            return {"kill_after": task_count // 2}
+        return {}
+
+
 class CrawlEngine:
     """Compiles nothing, schedules everything: executes a
     :class:`CrawlPlan` through an executor and merges the outcomes.
@@ -369,8 +733,20 @@ class CrawlEngine:
         The :class:`~repro.measure.crawl.Crawler` whose ``run_task``
         performs one task.
     workers:
-        ``1`` (default) selects :class:`SerialExecutor`; ``>1`` a
+        Degree of parallelism.  Without an explicit *backend*, ``1``
+        (default) selects :class:`SerialExecutor` and ``>1`` a
         :class:`ParallelExecutor` with that many threads.
+    backend:
+        Executor backend by name — ``"serial"``, ``"thread"``, or
+        ``"process"`` (see the module docstring); ``None`` keeps the
+        workers-based rule above.  The process backend requires a
+        stock crawler over a built world (pickling constraints) and
+        always uses per-task visit-id streams.
+    merge:
+        ``"memory"`` (default) assembles the merged outcome list in
+        memory; ``"spool"`` streams shard outcomes to per-shard spools
+        and produces the final file via a k-way plan-order streaming
+        join, keeping memory O(one shard) — requires *spool_path*.
     shards:
         Shard count; defaults to ``1`` when serial and ``4 × workers``
         when parallel.  A shard is the unit of concurrency (tasks
@@ -418,6 +794,8 @@ class CrawlEngine:
         *,
         workers: int = 1,
         shards: Optional[int] = None,
+        backend: Optional[str] = None,
+        merge: str = "memory",
         retry: Optional[RetryPolicy] = None,
         event_log: Optional[EventLog] = None,
         progress: Optional[ProgressHook] = None,
@@ -429,10 +807,40 @@ class CrawlEngine:
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if backend is not None and backend not in EXECUTOR_BACKENDS:
+            raise ValueError(
+                f"unknown executor backend {backend!r} "
+                f"(known: {', '.join(EXECUTOR_BACKENDS)})"
+            )
+        if backend == "serial" and workers > 1:
+            raise ValueError(
+                "backend='serial' contradicts workers > 1 "
+                "(pick 'thread' or 'process' to parallelise)"
+            )
+        if merge not in MERGE_MODES:
+            raise ValueError(
+                f"unknown merge mode {merge!r} "
+                f"(known: {', '.join(MERGE_MODES)})"
+            )
+        if merge == "spool" and spool_path is None:
+            raise ValueError(
+                "merge='spool' streams to per-shard spools and needs a "
+                "spool_path for the final join"
+            )
         self.crawler = crawler
         self.workers = workers
+        self.backend = backend
+        self.merge = merge
+        # An explicitly injected process executor is as parallel as a
+        # named backend — it must flip the shards default (and the
+        # visit-id regime below) exactly like backend="process".
+        parallel = (
+            workers > 1
+            or backend in ("thread", "process")
+            or getattr(executor, "uses_processes", False)
+        )
         self.shards = shards if shards is not None else (
-            1 if workers == 1 else workers * 4
+            workers * 4 if parallel else 1
         )
         if self.shards < 1:
             raise ValueError("shards must be >= 1")
@@ -451,6 +859,10 @@ class CrawlEngine:
         self.resume = resume
         self.executor = executor
         self._spool_partial: Optional[Path] = None
+        #: Spool-merge run state: part files written so far.
+        self._merge_parts: List[Path] = []
+        #: pid -> [shards, tasks, elapsed] for process-backend runs.
+        self._process_stats: Dict[int, List] = {}
         self._lock = threading.Lock()
         #: Separate lock for the caller's progress hook, so a slow (or
         #: engine-reentrant) hook can never stall spool writes or
@@ -461,14 +873,28 @@ class CrawlEngine:
 
     # ------------------------------------------------------------------
     @property
+    def resolved_backend(self) -> str:
+        """The effective backend name (explicit, or the workers rule)."""
+        if self.backend is not None:
+            return self.backend
+        return "serial" if self.workers == 1 else "thread"
+
+    @property
     def per_task_ids(self) -> bool:
         """Whether tasks get private visit-id streams (module docstring).
 
-        True in parallel mode and for every checkpointed run: the
-        serial shared-counter stream cannot survive a resume boundary,
-        since replayed tasks would no longer advance it.
+        True in parallel mode (any explicit thread/process backend —
+        or injected process executor — included: worker processes
+        cannot share the serial counter) and for every checkpointed
+        run: the serial shared-counter stream cannot survive a resume
+        boundary, since replayed tasks would no longer advance it.
         """
-        return self.workers > 1 or self.checkpoint_path is not None
+        return (
+            self.workers > 1
+            or self.checkpoint_path is not None
+            or self.backend in ("thread", "process")
+            or getattr(self.executor, "uses_processes", False)
+        )
 
     def fingerprint(self, plan: CrawlPlan) -> str:
         """The :func:`plan_fingerprint` of *plan* under this engine."""
@@ -494,43 +920,60 @@ class CrawlEngine:
         self._done = len(replayed)
         self._total = len(plan)
         self._spool_partial = None
+        self._merge_parts = []
+        self._process_stats = {}
         if self.spool_path is not None:
-            self._spool_partial = Path(f"{self.spool_path}.partial")
-            save_records([], self._spool_partial)
+            if self.merge == "spool":
+                # Part files from an interrupted earlier run would
+                # contaminate this run's k-way join; shards open their
+                # part files directly, so the directory must exist.
+                Path(self.spool_path).parent.mkdir(
+                    parents=True, exist_ok=True
+                )
+                self._cleanup_parts()
+            else:
+                self._spool_partial = Path(f"{self.spool_path}.partial")
+                save_records([], self._spool_partial)
         self._emit("plan", "engine://plan", {
             "tasks": len(plan),
             "shards": self.shards,
             "workers": self.workers,
+            "backend": self.resolved_backend,
+            "merge": self.merge,
         })
         if replayed:
             self._emit("resume", "engine://resume", {
                 "completed": len(replayed),
                 "remaining": len(plan) - len(replayed),
             })
-        # Each shard is one unit of concurrency, so threads beyond the
-        # shard count would only idle.
-        executor: Executor = self.executor or (
-            SerialExecutor() if self.workers == 1
-            else ParallelExecutor(min(self.workers, self.shards))
-        )
+        executor: Executor = self.executor or self._default_executor()
         started = time.perf_counter()
-        outcomes = executor.run(sharded, lambda sid, items: self._run_shard(
-            plan, sid, items
-        ))
+        if getattr(executor, "uses_processes", False):
+            outcomes = self._run_process_shards(executor, plan, sharded)
+        else:
+            outcomes = executor.run(sharded, lambda sid, items: self._run_shard(
+                plan, sid, items
+            ))
         elapsed = time.perf_counter() - started
-        outcomes.extend(replayed.values())
-        outcomes.sort(key=lambda outcome: outcome.index)
-        result = EngineResult(
-            outcomes=outcomes, elapsed=elapsed, resumed=len(replayed)
-        )
-        if self.spool_path is not None:
-            # Shards appended to the .partial file in completion order
-            # (a crash leaves them there, and the previous complete
-            # output untouched); success writes the canonical file and
-            # drops the partial.
-            save_records(result.records, self.spool_path)
-            if self._spool_partial is not None:
-                self._spool_partial.unlink(missing_ok=True)
+        self._emit_process_throughput()
+        if self.merge == "spool":
+            result = self._finalise_spool_merge(
+                plan, replayed, outcomes, elapsed
+            )
+        else:
+            outcomes.extend(replayed.values())
+            outcomes.sort(key=lambda outcome: outcome.index)
+            result = EngineResult(
+                outcomes=outcomes, elapsed=elapsed, resumed=len(replayed)
+            )
+            if self.spool_path is not None:
+                # Shards appended to the .partial file in completion
+                # order (a crash leaves them there, and the previous
+                # complete output untouched); success writes the
+                # canonical file and drops the partial.
+                save_records(result.records, self.spool_path)
+                if self._spool_partial is not None:
+                    self._spool_partial.unlink(missing_ok=True)
         if self.checkpoint_path is not None:
             # The run completed; its durable output (if any) is final.
             self.checkpoint_path.unlink(missing_ok=True)
@@ -541,6 +984,210 @@ class CrawlEngine:
             "tasks_per_sec": result.tasks_per_sec,
         })
         return result
+
+    def _default_executor(self) -> Executor:
+        """The executor the resolved backend names.
+
+        Each shard is one unit of concurrency, so workers beyond the
+        shard count would only idle.
+        """
+        backend = self.resolved_backend
+        if backend == "serial":
+            return SerialExecutor()
+        workers = min(self.workers, self.shards)
+        if backend == "process":
+            return ProcessExecutor(workers)
+        return ParallelExecutor(workers)
+
+    # ------------------------------------------------------------------
+    # Process backend (picklable shard bundles)
+    # ------------------------------------------------------------------
+    def _check_process_portable(self) -> None:
+        """Refuse crawls a worker process cannot reconstruct."""
+        from repro.measure.crawl import Crawler
+
+        if type(self.crawler) is not Crawler:
+            raise ValueError(
+                "the process backend ships picklable task bundles and "
+                "rebuilds the stock Crawler in each worker; "
+                f"{type(self.crawler).__name__} cannot cross the process "
+                "boundary (use the thread backend)"
+            )
+        config = getattr(getattr(self.crawler, "world", None), "config", None)
+        if config is None or getattr(config, "seed", None) is None:
+            raise ValueError(
+                "the process backend rebuilds the world from its "
+                "(seed, scale, evolution) key; this crawler's world has "
+                "no build config"
+            )
+        from repro.webgen.config import WorldConfig
+
+        if config != WorldConfig(seed=config.seed, scale=config.scale):
+            # A spawn-started worker rebuilds with build_world(scale,
+            # seed) only; hand-tuned population knobs would silently
+            # produce a *different web* in the worker, so refuse them
+            # up front (fork-started workers would mask this locally).
+            raise ValueError(
+                "the process backend rebuilds the world from (seed, "
+                "scale) alone; this world's config carries non-default "
+                "knobs a worker could not reproduce (use the thread "
+                "backend)"
+            )
+
+    def _run_process_shards(
+        self,
+        executor: "ProcessExecutor",
+        plan: CrawlPlan,
+        sharded: List[List[Tuple[int, CrawlTask]]],
+    ) -> List[TaskOutcome]:
+        self._check_process_portable()
+        world = self.crawler.world
+        config = world.config
+        world_key = (
+            config.seed, config.scale, getattr(world, "evolution_months", 0)
+        )
+        # Fork-started workers inherit this entry and skip the rebuild;
+        # spawn-started ones build deterministically from the key.
+        _SHARED_WORLDS[world_key] = world
+        # The run-constant half, installed once per worker by the pool
+        # initializer.  The live detector instances travel here, so
+        # configured (e.g. ablation) detectors behave the same in a
+        # worker as under threads; an unpicklable custom detector
+        # fails loudly at pool start.
+        shared = {
+            "world": world_key,
+            "latency": getattr(world.network, "latency", 0.0),
+            "bannerclick": self.crawler.bannerclick,
+            "language_detector": self.crawler._lang,
+            "ublock_lists": self.crawler.ublock_lists,
+            "context": plan.context,
+            "retry": self.retry,
+        }
+        bundles: List[Dict] = []
+        for shard_id, items in enumerate(sharded):
+            if not items:
+                continue
+            bundle = {
+                "shard": shard_id,
+                "tasks": [
+                    (index, task.vp, task.domain, task.mode, task.repeats)
+                    for index, task in items
+                ],
+                "id_bases": {
+                    index: _task_id_base(config.seed, task)
+                    for index, task in items
+                },
+            }
+            bundle.update(executor.bundle_overrides(shard_id, len(items)))
+            bundles.append(bundle)
+        collected: List[TaskOutcome] = []
+        try:
+            executor.run_bundles(
+                bundles,
+                lambda payload: collected.extend(
+                    self._absorb_process_shard(plan, payload)
+                ),
+                shared,
+            )
+        finally:
+            _SHARED_WORLDS.pop(world_key, None)
+        return collected
+
+    def _absorb_process_shard(
+        self, plan: CrawlPlan, payload: Dict
+    ) -> List[TaskOutcome]:
+        """Deserialise one worker's shard payload into the merge path."""
+        pid = payload["pid"]
+        with self._lock:
+            stats = self._process_stats.setdefault(pid, [0, 0, 0.0])
+            stats[0] += 1
+            stats[1] += len(payload["outcomes"])
+            stats[2] += payload["elapsed"]
+        for note in payload["retries"]:
+            self._emit_retry(
+                note["index"],
+                plan.tasks[note["index"]],
+                note["attempt"],
+                note["error"],
+            )
+        outcomes = [
+            TaskOutcome(
+                index=entry["index"],
+                task=plan.tasks[entry["index"]],
+                record=(
+                    decode_record(entry["record"])
+                    if entry["record"] is not None else None
+                ),
+                error=entry["error"],
+                attempts=entry["attempts"],
+            )
+            for entry in payload["outcomes"]
+        ]
+        kept = self._finish_shard(
+            payload["shard"], outcomes, payload["elapsed"], pid=pid
+        )
+        for outcome in outcomes:
+            self._advance(outcome.task)
+        return kept
+
+    def _emit_process_throughput(self) -> None:
+        for pid, (shards, tasks, elapsed) in sorted(
+            self._process_stats.items()
+        ):
+            self._emit("process-throughput", f"engine://process/{pid}", {
+                "pid": pid,
+                "shards": shards,
+                "tasks": tasks,
+                "elapsed": elapsed,
+                "tasks_per_sec": tasks / elapsed if elapsed > 0 else 0.0,
+            })
+
+    # ------------------------------------------------------------------
+    # Spool-backed merge
+    # ------------------------------------------------------------------
+    def _part_path(self, shard_id: int) -> Path:
+        return Path(f"{self.spool_path}.shard{shard_id:04d}.part")
+
+    def _cleanup_parts(self) -> None:
+        spool = Path(self.spool_path)
+        for stale in spool.parent.glob(f"{spool.name}.shard*.part"):
+            stale.unlink(missing_ok=True)
+        Path(f"{self.spool_path}.resume.part").unlink(missing_ok=True)
+
+    def _finalise_spool_merge(
+        self,
+        plan: CrawlPlan,
+        replayed: Dict[int, TaskOutcome],
+        failure_outcomes: List[TaskOutcome],
+        elapsed: float,
+    ) -> EngineResult:
+        """The k-way plan-order streaming join over the shard spools."""
+        parts = list(self._merge_parts)
+        failures = list(failure_outcomes)
+        if replayed:
+            resume_part = Path(f"{self.spool_path}.resume.part")
+            with resume_part.open("w", encoding="utf-8") as handle:
+                for index in sorted(replayed):
+                    outcome = replayed[index]
+                    if outcome.record is not None:
+                        handle.write(self._outcome_line(outcome))
+            parts.append(resume_part)
+            failures.extend(
+                o for o in replayed.values() if o.error is not None
+            )
+        count = merge_record_spools(parts, self.spool_path)
+        for part in parts:
+            Path(part).unlink(missing_ok=True)
+        failures.sort(key=lambda outcome: outcome.index)
+        return EngineResult(
+            outcomes=None,
+            elapsed=elapsed,
+            resumed=len(replayed),
+            spool_path=Path(self.spool_path),
+            total=len(plan),
+            spooled_records=count,
+            spooled_failures=failures,
+        )
 
     # ------------------------------------------------------------------
     # Checkpointing
@@ -724,57 +1371,73 @@ class CrawlEngine:
     ) -> List[TaskOutcome]:
         started = time.perf_counter()
         outcomes = [self._run_one(plan, index, task) for index, task in items]
-        if outcomes and (
-            self._spool_partial is not None or self.checkpoint_path is not None
-        ):
-            records = [o.record for o in outcomes if o.record is not None]
+        return self._finish_shard(
+            shard_id, outcomes, time.perf_counter() - started
+        )
+
+    def _finish_shard(
+        self,
+        shard_id: int,
+        outcomes: List[TaskOutcome],
+        elapsed: float,
+        *,
+        pid: Optional[int] = None,
+    ) -> List[TaskOutcome]:
+        """Persist one finished shard and hand back what the merge keeps.
+
+        In the in-memory merge the full outcome list is returned; in
+        the spool merge the records are streamed to this shard's part
+        file first and only the (small) permanent failures are kept in
+        memory.
+        """
+        has_sink = (
+            self.merge == "spool"
+            or self._spool_partial is not None
+            or self.checkpoint_path is not None
+        )
+        if outcomes and has_sink:
+            part: Optional[Path] = None
+            if self.merge == "spool":
+                # Each shard owns its part file, so the write needs no
+                # lock; plan order within the shard makes it index-
+                # sorted, which the k-way join requires.
+                part = self._part_path(shard_id)
+                with part.open("w", encoding="utf-8") as handle:
+                    for outcome in outcomes:
+                        if outcome.record is not None:
+                            handle.write(self._outcome_line(outcome))
             with self._lock:
+                if part is not None:
+                    self._merge_parts.append(part)
                 if self._spool_partial is not None:
-                    save_records(records, self._spool_partial, append=True)
+                    save_records(
+                        [o.record for o in outcomes if o.record is not None],
+                        self._spool_partial, append=True,
+                    )
                 if self.checkpoint_path is not None:
                     self._checkpoint_outcomes(outcomes)
-        self._emit("shard", f"engine://shard/{shard_id}", {
+        detail = {
             "shard": shard_id,
-            "tasks": len(items),
-            "elapsed": time.perf_counter() - started,
-        })
+            "tasks": len(outcomes),
+            "elapsed": elapsed,
+        }
+        if pid is not None:
+            detail["pid"] = pid
+        self._emit("shard", f"engine://shard/{shard_id}", detail)
+        if self.merge == "spool":
+            return [o for o in outcomes if o.error is not None]
         return outcomes
 
     def _run_one(self, plan: CrawlPlan, index: int, task: CrawlTask) -> TaskOutcome:
-        attempts = 0
         visit_ids = self._task_id_stream(task) if self.per_task_ids else None
-        while True:
-            attempts += 1
-            try:
-                record = self.crawler.run_task(
-                    task, plan.context, visit_ids=visit_ids
-                )
-            except self.retry.retry_on as exc:
-                if attempts >= self.retry.max_attempts:
-                    outcome = TaskOutcome(
-                        index, task,
-                        error=type(exc).__name__, attempts=attempts,
-                    )
-                    break
-                self._emit_retry(index, task, attempts, type(exc).__name__)
-            else:
-                if (
-                    self.retry.retry_unreachable
-                    and task.mode == "detect"
-                    and getattr(record, "reachable", True) is False
-                    and attempts < self.retry.max_attempts
-                ):
-                    self._emit_retry(
-                        index, task, attempts,
-                        getattr(record, "error", None) or "unreachable",
-                    )
-                    continue
-                outcome = TaskOutcome(
-                    index, task, record=record, attempts=attempts
-                )
-                break
+        record, error, attempts = _execute_task(
+            self.crawler, task, plan.context, self.retry, visit_ids,
+            lambda attempt, err: self._emit_retry(index, task, attempt, err),
+        )
         self._advance(task)
-        return outcome
+        return TaskOutcome(
+            index, task, record=record, error=error, attempts=attempts
+        )
 
     def _emit_retry(
         self, index: int, task: CrawlTask, attempt: int, error: str
@@ -798,12 +1461,7 @@ class CrawlEngine:
         config = getattr(world, "config", None)
         if config is None:
             return None
-        base = derive_seed(
-            config.seed, "engine-task-visits",
-            task.vp, task.domain, task.mode, task.repeats,
-        )
-        counter = itertools.count()
-        return lambda: derive_seed(base, next(counter))
+        return _id_stream(_task_id_base(config.seed, task))
 
     def _advance(self, task: CrawlTask) -> None:
         with self._lock:

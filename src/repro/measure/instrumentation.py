@@ -31,6 +31,7 @@ EVENT_KINDS = (
     "task-retry",
     "progress",
     "throughput",
+    "process-throughput",
     "resume",
 )
 

@@ -14,10 +14,11 @@ raises.
 
 from __future__ import annotations
 
+import heapq
 import json
 import warnings
 from pathlib import Path
-from typing import Dict, Iterable, Iterator, List, Tuple, Union
+from typing import Dict, Iterable, Iterator, List, Sequence, Tuple, Union
 
 from repro.measure.records import CookieMeasurement, UBlockRecord, VisitRecord
 
@@ -123,3 +124,62 @@ def iter_records(path: Union[str, Path]) -> Iterator:
 def load_records(path: Union[str, Path]) -> List:
     """Read records back; the inverse of :func:`save_records`."""
     return list(iter_records(path))
+
+
+# ---------------------------------------------------------------------------
+# Spool-backed merging (the crawl engine's O(shard-buffer) merge)
+# ---------------------------------------------------------------------------
+
+def iter_merged_jsonl(
+    paths: Sequence[Union[str, Path]], *, key: str = "index"
+) -> Iterator[Dict]:
+    """K-way merge of JSONL files whose payloads are sorted by *key*.
+
+    Each input file must already be ordered by ``payload[key]`` (the
+    crawl engine writes per-shard spools in plan order, which is index
+    order within a shard).  The merge is streaming: memory use is one
+    buffered payload per input file, never the union — this is what
+    lets a merged crawl output stay O(shards) for worlds far beyond
+    paper scale.
+    """
+
+    def stream(path):
+        for _, payload in iter_jsonl(path):
+            yield payload
+
+    return heapq.merge(*(stream(p) for p in paths), key=lambda p: p[key])
+
+
+def merge_record_spools(
+    parts: Sequence[Union[str, Path]], path: Union[str, Path]
+) -> int:
+    """Streaming plan-order join of outcome part files into a final
+    record JSONL; returns the number of records written.
+
+    *parts* hold checkpoint-style ``{"kind": "outcome", "index", ...,
+    "record"}`` lines sorted by plan index (one file per shard, plus
+    the resume replay file).  The output is byte-identical to
+    :func:`save_records` over the same records in plan order — each
+    record is decoded and re-encoded through the canonical
+    :func:`encode_record` path, exactly like a checkpoint replay —
+    but only one payload per part is ever held in memory.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    count = 0
+    # Stream to a sibling and rename on success: a crash mid-join must
+    # never truncate a previous complete output — the same invariant
+    # the in-memory merge's .partial protocol provides.
+    tmp = path.with_name(path.name + ".merging")
+    with tmp.open("w", encoding="utf-8") as handle:
+        for payload in iter_merged_jsonl(parts):
+            record_payload = payload.get("record")
+            if record_payload is None:
+                continue
+            record = decode_record(record_payload)
+            handle.write(
+                json.dumps(encode_record(record), ensure_ascii=False) + "\n"
+            )
+            count += 1
+    tmp.replace(path)
+    return count

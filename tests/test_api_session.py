@@ -76,6 +76,53 @@ class TestSessionBasics:
             r.to_dict() for r in serial.records
         ]
 
+    def test_executor_and_merge_flow_through_session(self, tmp_path):
+        """`EngineSpec(executor=..., merge="spool")` runs end to end:
+        the spool is byte-identical to the serial in-memory run and
+        the RunResult stays lazy (records stream from the spool)."""
+        serial_out = tmp_path / "serial.jsonl"
+        spec = RunSpec(
+            kind="crawl", world=WORLD, crawl=CrawlSpec(vps=("DE",)),
+            output=OutputSpec(path=str(serial_out)),
+        )
+        Session(spec).run()
+        for backend in ("thread", "process"):
+            out = tmp_path / f"{backend}.jsonl"
+            result = Session(
+                RunSpec(
+                    kind="crawl", world=WORLD, crawl=CrawlSpec(vps=("DE",)),
+                    engine=EngineSpec(
+                        workers=2, executor=backend, merge="spool"
+                    ),
+                    output=OutputSpec(path=str(out)),
+                )
+            ).run()
+            assert out.read_bytes() == serial_out.read_bytes(), backend
+            # Spool-merged runs stay lazy: nothing materialised yet.
+            assert result._records is None
+            assert result.record_count == len(result.records)
+
+    def test_spool_merge_without_output_refused_not_downgraded(self):
+        # Mirrors the resume rule: silently merging in memory when the
+        # caller asked for the streaming mode is never acceptable.
+        session = Session(WORLD, engine=EngineSpec(merge="spool"))
+        with pytest.raises(SpecError, match="--merge spool"):
+            session.crawl(CrawlSpec(vps=("DE",)))
+
+    def test_measure_pre_pass_survives_spool_merge(self, tmp_path):
+        """`measure` without explicit domains runs an in-memory
+        detection pre-pass; merge='spool' must not break it (the
+        pre-pass has no spool of its own)."""
+        out = tmp_path / "m.jsonl"
+        result = Session(
+            WORLD, engine=EngineSpec(merge="spool")
+        ).measure(
+            MeasureSpec(vp="DE", repeats=1),
+            output=OutputSpec(path=str(out)),
+        )
+        assert out.exists()
+        assert result.record_count > 0
+
     def test_resume_without_output_refused_not_ignored(self):
         session = Session(WORLD, engine=EngineSpec(resume=True))
         with pytest.raises(SpecError, match="--resume requires"):

@@ -101,6 +101,36 @@ class TestValidation:
         with pytest.raises(SpecError, match="workers"):
             RunSpec(kind="crawl", engine=EngineSpec(workers=0)).validate()
 
+    def test_executor_backend_validated(self):
+        with pytest.raises(SpecError, match="engine.executor"):
+            EngineSpec(executor="fiber").validate()
+        with pytest.raises(SpecError, match="contradicts"):
+            EngineSpec(executor="serial", workers=4).validate()
+        for backend in ("serial", "thread", "process"):
+            EngineSpec(executor=backend).validate()
+
+    def test_executor_round_trips(self):
+        spec = RunSpec(
+            kind="crawl",
+            engine=EngineSpec(workers=2, executor="process", merge="spool"),
+            output=OutputSpec(path="out.jsonl"),
+        ).validate()
+        assert RunSpec.from_dict(spec.to_dict()) == spec
+
+    def test_merge_validated_and_needs_output(self):
+        with pytest.raises(SpecError, match="engine.merge"):
+            EngineSpec(merge="teleport").validate()
+        with pytest.raises(SpecError, match="--merge spool"):
+            RunSpec(kind="crawl", engine=EngineSpec(merge="spool")).validate()
+        with pytest.raises(SpecError, match="--out-dir"):
+            RunSpec(
+                kind="longitudinal", engine=EngineSpec(merge="spool"),
+            ).validate()
+        RunSpec(
+            kind="measure", engine=EngineSpec(merge="spool"),
+            output=OutputSpec(path="m.jsonl"),
+        ).validate()
+
     def test_string_where_list_expected(self):
         with pytest.raises(SpecError, match="one-element list"):
             CrawlSpec.from_dict({"vps": "DE"})

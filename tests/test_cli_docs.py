@@ -23,7 +23,10 @@ GUARDED = ("crawl", "measure", "longitudinal")
 
 #: Flags shared by every engine-backed subcommand, documented once in
 #: the README's common list rather than per subcommand.
-COMMON = {"--scale", "--seed", "--workers", "--shards", "--resume", "--config"}
+COMMON = {
+    "--scale", "--seed", "--workers", "--shards", "--executor", "--merge",
+    "--resume", "--config",
+}
 
 
 def top_level_parsers():

@@ -242,7 +242,10 @@ class TestEngineEvents:
         )
         engine.execute(plan)
         (plan_event,) = log.by_kind("plan")
-        assert plan_event.detail == {"tasks": 30, "shards": 4, "workers": 2}
+        assert plan_event.detail == {
+            "tasks": 30, "shards": 4, "workers": 2,
+            "backend": "thread", "merge": "memory",
+        }
         occupied = sum(1 for shard in plan.sharded(4) if shard)
         assert len(log.by_kind("shard")) == occupied
         progress = log.by_kind("progress")
@@ -312,6 +315,96 @@ class TestSpool:
         engine.execute(plan)
         engine.execute(plan)
         assert len(list(iter_records(spool))) == 5
+
+
+class TestSpoolMerge:
+    """The streaming k-way merge (``merge='spool'``)."""
+
+    def test_requires_spool_path(self, medium_crawler):
+        with pytest.raises(ValueError, match="spool_path"):
+            CrawlEngine(medium_crawler, merge="spool")
+
+    def test_unknown_merge_mode_rejected(self, medium_crawler):
+        with pytest.raises(ValueError, match="unknown merge mode"):
+            CrawlEngine(medium_crawler, merge="teleport", spool_path="x")
+
+    def test_streamed_result_and_bytes_match_memory(
+        self, tmp_path, medium_world, medium_crawler
+    ):
+        targets = medium_world.crawl_targets[:40]
+        plan = medium_crawler.plan_detection_crawl(["DE"], targets)
+        memory = tmp_path / "memory.jsonl"
+        CrawlEngine(
+            medium_crawler, workers=2, shards=4, spool_path=memory
+        ).execute(plan)
+        streamed = tmp_path / "streamed.jsonl"
+        result = CrawlEngine(
+            medium_crawler, workers=2, shards=4, spool_path=streamed,
+            merge="spool",
+        ).execute(plan)
+        assert streamed.read_bytes() == memory.read_bytes()
+        assert result.streamed and result.outcomes is None
+        assert len(result) == 40
+        assert result.record_count == 40
+        assert result.failures == []
+        # Lazy access still works, in plan order.
+        assert [r.to_dict() for r in result.iter_records()] == [
+            r.to_dict() for r in result.records
+        ]
+        # No part files (or legacy .partial) left behind.
+        leftovers = [
+            p.name for p in tmp_path.iterdir()
+            if p.name not in ("memory.jsonl", "streamed.jsonl")
+        ]
+        assert leftovers == []
+
+    def test_failures_kept_in_memory_not_in_spool(
+        self, tmp_path, medium_world
+    ):
+        class DeadCrawler(Crawler):
+            def run_task(self, task, context=None, *, visit_ids=None):
+                if shard_of(task.domain, 3) == 0:
+                    raise NetworkError("dead uplink")
+                return super().run_task(task, context, visit_ids=visit_ids)
+
+        crawler = DeadCrawler(medium_world)
+        targets = medium_world.crawl_targets[:30]
+        dead = [d for d in targets if shard_of(d, 3) == 0]
+        assert dead, "sample has no failing domains"
+        plan = crawler.plan_detection_crawl(["DE"], targets)
+        out = tmp_path / "partial-failures.jsonl"
+        result = CrawlEngine(
+            crawler, workers=2, shards=4, spool_path=out, merge="spool",
+            retry=RetryPolicy(max_attempts=1),
+        ).execute(plan)
+        assert len(result.failures) == len(dead)
+        assert [o.task.domain for o in result.failures] == dead
+        assert all(o.error == "NetworkError" for o in result.failures)
+        assert result.record_count == len(targets) - len(dead)
+        assert len(list(iter_records(out))) == len(targets) - len(dead)
+
+    def test_stale_parts_from_crashed_run_are_ignored(
+        self, tmp_path, medium_world, medium_crawler
+    ):
+        """Part files orphaned by a crash must not leak into the next
+        run's k-way join."""
+        targets = medium_world.crawl_targets[:20]
+        plan = medium_crawler.plan_detection_crawl(["DE"], targets)
+        out = tmp_path / "out.jsonl"
+        stale = tmp_path / "out.jsonl.shard0099.part"
+        stale.write_text('{"kind": "outcome", "index": 0, "record": null}\n')
+        result = CrawlEngine(
+            medium_crawler, workers=2, shards=4, spool_path=out,
+            merge="spool",
+        ).execute(plan)
+        assert result.record_count == 20
+        assert not stale.exists()
+
+    def test_backend_validation(self, medium_crawler):
+        with pytest.raises(ValueError, match="unknown executor backend"):
+            CrawlEngine(medium_crawler, backend="fiber")
+        with pytest.raises(ValueError, match="contradicts workers"):
+            CrawlEngine(medium_crawler, backend="serial", workers=2)
 
 
 class TestProgressReporting:

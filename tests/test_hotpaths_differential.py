@@ -32,9 +32,10 @@ from repro.adblock import FilterEngine, NaiveFilterEngine
 from repro.browser import Browser
 from repro.dom import Document, Element, Text
 from repro.dom.selector import query_selector, query_selector_all
-from repro.httpkit import Request
+from repro.httpkit import Cookie, CookieJar, NaiveCookieJar, Request
 from repro.measure.crawl import Crawler
 from repro.netsim import Network, StaticServer
+from repro.urlkit import parse
 from repro.vantage import VANTAGE_POINTS
 from repro.webgen import build_world
 
@@ -320,6 +321,107 @@ class TestFrameWalkCache:
 # ---------------------------------------------------------------------------
 # End-to-end: byte-identical records with every hot path off vs on
 # ---------------------------------------------------------------------------
+
+# ---------------------------------------------------------------------------
+# Cookie-jar strategies: the indexed (registrable-domain-bucketed) jar
+# against the linear-scan NaiveCookieJar oracle.
+# ---------------------------------------------------------------------------
+
+#: Hosts chosen to stress the bucketing: shared registrable domains,
+#: multi-label public suffixes, bare suffixes, and PSL-unknown names.
+_COOKIE_HOSTS = (
+    "site.de", "www.site.de", "deep.www.site.de", "other.de",
+    "example.co.uk", "sub.example.co.uk", "b.sub.example.co.uk",
+    "co.uk", "news.com.au", "tracker.net", "cdn.tracker.net",
+    "localhost", "internal", "x.internal",
+)
+_COOKIE_PATHS = ("/", "/a", "/a/", "/a/b", "/ab")
+
+
+@st.composite
+def _jar_cookie(draw):
+    return Cookie(
+        name=draw(st.sampled_from(("sid", "uid", "pref", "track"))),
+        value=draw(st.sampled_from(("1", "2", "x"))),
+        domain=draw(st.sampled_from(_COOKIE_HOSTS)),
+        path=draw(st.sampled_from(_COOKIE_PATHS)),
+        secure=draw(st.booleans()),
+        host_only=draw(st.booleans()),
+        max_age=draw(st.sampled_from((None, 600, 0))),
+        same_site=draw(st.sampled_from(("lax", "strict"))),
+    )
+
+
+@st.composite
+def _jar_op(draw):
+    kind = draw(st.sampled_from(("set", "set", "set", "clear-site")))
+    if kind == "set":
+        return ("set", draw(_jar_cookie()))
+    return ("clear-site", draw(st.sampled_from(
+        ("site.de", "example.co.uk", "tracker.net", "nosuch.de")
+    )))
+
+
+@st.composite
+def _jar_query(draw):
+    scheme = draw(st.sampled_from(("http", "https")))
+    host = draw(st.sampled_from(_COOKIE_HOSTS))
+    path = draw(st.sampled_from(_COOKIE_PATHS))
+    first_party = draw(st.sampled_from(
+        (None, "site.de", "example.co.uk", "other.de")
+    ))
+    return (f"{scheme}://{host}{path}", first_party)
+
+
+class TestCookieJarDifferential:
+    """The bucketed jar must be invisible: every query answers exactly
+    like the linear scan, result order included — the Cookie headers a
+    browser assembles from it feed byte-identical records."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        ops=st.lists(_jar_op(), min_size=0, max_size=25),
+        queries=st.lists(_jar_query(), min_size=1, max_size=8),
+    )
+    def test_indexed_jar_matches_naive_oracle(self, ops, queries):
+        indexed, naive = CookieJar(), NaiveCookieJar()
+        for op in ops:
+            if op[0] == "set":
+                indexed.set_cookie(op[1])
+                naive.set_cookie(op[1])
+            else:
+                assert indexed.clear(site=op[1]) == naive.clear(site=op[1])
+        assert indexed.all_cookies() == naive.all_cookies()
+        for url_text, first_party in queries:
+            url = parse(url_text)
+            assert indexed.cookies_for(
+                url, first_party_site=first_party
+            ) == naive.cookies_for(url, first_party_site=first_party), (
+                f"divergence for {url_text} (first_party={first_party})"
+            )
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        ops=st.lists(_jar_op(), min_size=1, max_size=15),
+        query=_jar_query(),
+    )
+    def test_snapshot_preserves_equivalence(self, ops, query):
+        indexed, naive = CookieJar(), NaiveCookieJar()
+        for op in ops:
+            if op[0] == "set":
+                indexed.set_cookie(op[1])
+                naive.set_cookie(op[1])
+            else:
+                indexed.clear(site=op[1])
+                naive.clear(site=op[1])
+        snap_indexed, snap_naive = indexed.snapshot(), naive.snapshot()
+        indexed.clear()
+        naive.clear()
+        url = parse(query[0])
+        assert snap_indexed.cookies_for(
+            url, first_party_site=query[1]
+        ) == snap_naive.cookies_for(url, first_party_site=query[1])
+
 
 def _campaign():
     """A serial (workers=1, shards=1) crawl + cookie + uBlock campaign.

@@ -9,6 +9,7 @@ from repro.httpkit import (
     Cookie,
     CookieJar,
     Headers,
+    NaiveCookieJar,
     Request,
     Response,
     domain_match,
@@ -210,6 +211,98 @@ class TestCookieJar:
         jar = self.make_jar()
         assert jar.has("fp", "news.de")
         assert not jar.has("fp", "other.de")
+
+
+class TestIndexedCookieJar:
+    """The registrable-domain bucket index behind ``cookies_for``.
+
+    The randomized half of this evidence lives in
+    ``tests/test_hotpaths_differential.py`` (indexed vs
+    :class:`NaiveCookieJar` under generated cookie workloads); these
+    are the deliberate edge cases.
+    """
+
+    def test_unbucketable_domains_still_match(self):
+        # A cookie on a host with no registrable domain (bare public
+        # suffix, localhost) cannot be site-bucketed but must still be
+        # carried — the catch-all bucket is always scanned.
+        jar = CookieJar()
+        jar.set_cookie(Cookie(name="lh", value="1", domain="localhost"))
+        jar.set_cookie(Cookie(
+            name="ps", value="1", domain="co.uk", host_only=False
+        ))
+        got = jar.cookies_for(parse("http://localhost/"))
+        assert [c.name for c in got] == ["lh"]
+        got = jar.cookies_for(parse("http://deep.under.co.uk/"))
+        assert [c.name for c in got] == ["ps"]
+
+    def test_order_spans_buckets_in_insertion_order(self):
+        jar, naive = CookieJar(), NaiveCookieJar()
+        for j in (jar, naive):
+            j.set_cookie(Cookie(
+                name="a", value="1", domain="news.de", host_only=False
+            ))
+            j.set_cookie(Cookie(name="b", value="1", domain="localhost"))
+            j.set_cookie(Cookie(
+                name="c", value="1", domain="sub.news.de", host_only=False
+            ))
+        # A host matching both the site bucket and nothing unbucketed
+        # keeps the global insertion order a linear scan would give.
+        url = parse("https://x.sub.news.de/")
+        assert [c.name for c in jar.cookies_for(url)] == ["a", "c"]
+        assert [c.name for c in naive.cookies_for(url)] == ["a", "c"]
+
+    def test_replacement_keeps_original_position(self):
+        jar = CookieJar()
+        naive = NaiveCookieJar()
+        for j in (jar, naive):
+            j.set_cookie(Cookie(
+                name="first", value="1", domain="news.de", host_only=False
+            ))
+            j.set_cookie(Cookie(
+                name="second", value="1", domain="news.de", host_only=False
+            ))
+            j.set_cookie(Cookie(       # replaces "first", keeps its slot
+                name="first", value="2", domain="news.de", host_only=False
+            ))
+        url = parse("https://news.de/")
+        assert [c.name for c in jar.cookies_for(url)] == [
+            c.name for c in naive.cookies_for(url)
+        ] == ["first", "second"]
+        assert jar.cookies_for(url)[0].value == "2"
+
+    def test_clear_site_prunes_index(self):
+        jar = CookieJar()
+        jar.set_cookie(Cookie(
+            name="a", value="1", domain="news.de", host_only=False
+        ))
+        jar.set_cookie(Cookie(
+            name="b", value="1", domain="trackmax.com", host_only=False
+        ))
+        assert jar.clear(site="news.de") == 1
+        assert jar.cookies_for(parse("https://news.de/")) == []
+        assert [
+            c.name for c in jar.cookies_for(parse("https://trackmax.com/"))
+        ] == ["b"]
+
+    def test_snapshot_copies_index(self):
+        jar = CookieJar()
+        jar.set_cookie(Cookie(
+            name="a", value="1", domain="news.de", host_only=False
+        ))
+        snap = jar.snapshot()
+        jar.clear()
+        url = parse("https://news.de/")
+        assert [c.name for c in snap.cookies_for(url)] == ["a"]
+        assert jar.cookies_for(url) == []
+
+    def test_naive_jar_is_a_cookiejar(self):
+        # The oracle shares storage/mutation with the indexed jar; only
+        # the query strategy differs.
+        naive = NaiveCookieJar()
+        naive.set_from_header("fp=1; Domain=news.de", PAGE)
+        assert len(naive.cookies_for(parse("https://sub.news.de/"))) == 1
+        assert isinstance(naive.snapshot(), NaiveCookieJar)
 
 
 class TestMessages:

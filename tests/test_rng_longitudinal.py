@@ -154,7 +154,10 @@ class TestRunLongitudinal:
         plans = log.by_kind("plan")
         assert len(plans) == 2
         assert all(
-            p.detail == {"tasks": 80, "shards": 4, "workers": 2}
+            p.detail == {
+                "tasks": 80, "shards": 4, "workers": 2,
+                "backend": "thread", "merge": "memory",
+            }
             for p in plans
         )
         assert log.by_kind("shard")
