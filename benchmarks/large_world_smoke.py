@@ -14,6 +14,17 @@ job; locally::
 
     PYTHONPATH=src python benchmarks/large_world_smoke.py --scale 0.2
 
+``--flat-scales A B`` runs the smoke **twice, in fresh subprocesses**
+(``ru_maxrss`` is lifetime-monotonic, so each scale needs its own
+process) and then asserts the crawl's RSS *delta* stays flat as the
+world grows: the streaming pipeline's working set is the plan plus one
+shard's buffers, so doubling the record count must not double the
+delta.  The tolerance (``--flat-slack-mb``, default 96 MB) absorbs the
+parts that legitimately scale — the O(tasks) plan, proportionally
+larger shard buffers, allocator slop — while still tripping on the
+real regression this mode exists for: materialising the record stream,
+which at 0.2-scale adds hundreds of MB, not tens.
+
 Ceiling calibration (documented so failures are interpretable): at
 ``--scale 0.2``, all eight vantage points (~72k tasks), the world
 plus interpreter sits around 45 MB and the spool-merged crawl adds
@@ -31,7 +42,9 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import resource
+import subprocess
 import sys
 import tempfile
 import time
@@ -47,11 +60,72 @@ DEFAULT_CEILING_MB = 512
 #: end — the part the merge strategy controls.
 DEFAULT_DELTA_CEILING_MB = 256
 DEFAULT_SCALE = 0.2
+#: Default slack (MB) allowed between the crawl RSS deltas of the two
+#: ``--flat-scales`` runs.  The plan is O(tasks) and the shard buffers
+#: grow with world size, so "flat" means tens of MB apart — record
+#: materialisation would differ by hundreds.
+DEFAULT_FLAT_SLACK_MB = 96
 
 
 def peak_rss_mb() -> float:
     """This process's lifetime peak RSS in MB (ru_maxrss is KB on Linux)."""
     return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+
+
+def run_flat_scales(args) -> int:
+    """Run the smoke at two scales and require a flat crawl RSS delta.
+
+    Each scale gets a **fresh subprocess**: ``ru_maxrss`` never goes
+    down, so a second in-process run would inherit the first run's
+    peak and the comparison would be meaningless.  Only the crawl's
+    RSS *growth* (``crawl_rss_delta_mb``) is compared — the world
+    itself is in RAM by design and scales with ``--scale``.
+    """
+    small, large = sorted(args.flat_scales)
+    summaries = []
+    with tempfile.TemporaryDirectory(prefix="flat-scales-") as tmp:
+        for scale in (small, large):
+            summary_path = Path(tmp) / f"scale-{scale}.json"
+            cmd = [
+                sys.executable, __file__,
+                "--scale", str(scale),
+                "--seed", str(args.seed),
+                "--workers", str(args.workers),
+                "--shards", str(args.shards),
+                # The per-run ceilings are the flat comparison's job
+                # here; disable them so a single loose run can't mask
+                # or double-report.
+                "--rss-ceiling-mb", "1e9",
+                "--rss-delta-ceiling-mb", "1e9",
+                "--summary-json", str(summary_path),
+            ]
+            for vp in args.vp or ():
+                cmd += ["--vp", vp]
+            print(f"--- flat-scales: scale {scale} ---", flush=True)
+            proc = subprocess.run(cmd, env=os.environ.copy())
+            if proc.returncode != 0:
+                print(f"FAIL: scale-{scale} subprocess exited "
+                      f"{proc.returncode}", file=sys.stderr)
+                return 1
+            summaries.append(
+                json.loads(summary_path.read_text(encoding="utf-8"))
+            )
+    deltas = [s["crawl_rss_delta_mb"] for s in summaries]
+    growth = deltas[1] - deltas[0]
+    ratio = summaries[1]["records"] / max(summaries[0]["records"], 1)
+    print(f"flat-scales: crawl RSS delta {deltas[0]:.0f} MB @ scale "
+          f"{small} vs {deltas[1]:.0f} MB @ scale {large} "
+          f"({ratio:.1f}x the records; growth {growth:.0f} MB, "
+          f"slack {args.flat_slack_mb:.0f} MB)")
+    if growth > args.flat_slack_mb:
+        print(f"FAIL: the crawl RSS delta grew by {growth:.0f} MB "
+              f"(> {args.flat_slack_mb:.0f} MB slack) between scales "
+              f"{small} and {large} — the pipeline is holding "
+              "per-record state; peak memory must stay O(plan + one "
+              "shard's buffers) as the world grows", file=sys.stderr)
+        return 1
+    print("OK: peak RSS is flat across world scales")
+    return 0
 
 
 def main(argv=None) -> int:
@@ -76,7 +150,23 @@ def main(argv=None) -> int:
                              "eight, ~72k tasks at the default scale)")
     parser.add_argument("--out-dir", default=None,
                         help="spool directory (default: a temp dir)")
+    parser.add_argument("--summary-json", default=None, metavar="PATH",
+                        help="also write the summary dict to PATH as JSON "
+                             "(used by --flat-scales subprocesses)")
+    parser.add_argument("--flat-scales", nargs=2, type=float, default=None,
+                        metavar=("SMALL", "LARGE"),
+                        help="run the smoke at two scales in fresh "
+                             "subprocesses and fail unless the crawl RSS "
+                             "delta stays flat between them")
+    parser.add_argument("--flat-slack-mb", type=float,
+                        default=DEFAULT_FLAT_SLACK_MB,
+                        help="allowed crawl-RSS-delta growth between the "
+                             "two --flat-scales runs "
+                             f"(default {DEFAULT_FLAT_SLACK_MB} MB)")
     args = parser.parse_args(argv)
+
+    if args.flat_scales is not None:
+        return run_flat_scales(args)
 
     out_dir = Path(args.out_dir) if args.out_dir else Path(
         tempfile.mkdtemp(prefix="large-world-smoke-")
@@ -121,6 +211,10 @@ def main(argv=None) -> int:
         "rss_delta_ceiling_mb": args.rss_delta_ceiling_mb,
     }
     print(json.dumps(summary, indent=2))
+    if args.summary_json:
+        Path(args.summary_json).write_text(
+            json.dumps(summary, indent=2) + "\n", encoding="utf-8"
+        )
 
     if result.record_count != spooled:
         print(f"FAIL: result reports {result.record_count} records but the "

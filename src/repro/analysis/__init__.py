@@ -1,5 +1,39 @@
-"""Analysis: statistics and the paper's tables/figures as data + ASCII."""
+"""Analysis: statistics and the paper's tables/figures as data + ASCII.
 
-from repro.analysis.stats import ecdf, mean, median, pearson, quantile
+Two equivalent computation paths live here: the list-based oracle
+functions (``compute_*`` over materialised records) and the
+single-pass streaming aggregators (:class:`StreamingCrawlAnalysis`,
+:class:`StreamingCookieComparison` over record streams).  Their
+outputs are byte-identical; the streaming path's memory is bounded by
+the analysis result, not the stream length.
+"""
 
-__all__ = ["median", "mean", "quantile", "ecdf", "pearson"]
+from repro.analysis.stats import (
+    OnlineStats,
+    StreamingECDF,
+    TopK,
+    ecdf,
+    ecdf_at,
+    mean,
+    median,
+    pearson,
+    quantile,
+)
+from repro.analysis.streaming import (
+    StreamingCookieComparison,
+    StreamingCrawlAnalysis,
+)
+
+__all__ = [
+    "median",
+    "mean",
+    "quantile",
+    "ecdf",
+    "ecdf_at",
+    "pearson",
+    "OnlineStats",
+    "StreamingECDF",
+    "TopK",
+    "StreamingCrawlAnalysis",
+    "StreamingCookieComparison",
+]

@@ -4,7 +4,10 @@ The paper's artefact release [49] ships raw crawl records and analysis
 inputs.  :func:`export_dataset` writes the equivalent bundle for a
 reproduction run: crawl records, cookie measurements, uBlock records,
 the toplists, the tracking list, and a manifest; :func:`load_dataset`
-reads a bundle back for offline re-analysis.
+reads a bundle back for offline re-analysis — either materialised
+(:class:`Dataset`) or as a streaming view (:class:`DatasetStream`,
+``stream=True``) whose record accessors are single-pass iterators
+reading straight from the bundle's JSONL files.
 """
 
 from __future__ import annotations
@@ -12,14 +15,25 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Sequence, Union
+from typing import Dict, Iterable, Iterator, List, Union
 
 from repro.measure.records import CookieMeasurement, UBlockRecord, VisitRecord
-from repro.measure.storage import load_records, save_records
+from repro.measure.storage import iter_records, save_records
 from repro.webgen.crux import export_all, import_toplist
 from repro.webgen.world import World
 
 _MANIFEST = "manifest.json"
+
+
+def _streamed_cookiewall_domains(records: Iterable[VisitRecord]) -> List[str]:
+    """Unique cookiewall domains in first-seen order (one pass)."""
+    seen = set()
+    out: List[str] = []
+    for record in records:
+        if record.is_cookiewall and record.domain not in seen:
+            seen.add(record.domain)
+            out.append(record.domain)
+    return out
 
 
 @dataclass
@@ -34,29 +48,74 @@ class Dataset:
     tracking_domains: List[str] = field(default_factory=list)
 
     def cookiewall_domains(self) -> List[str]:
-        seen = []
-        for record in self.visit_records:
-            if record.is_cookiewall and record.domain not in seen:
-                seen.append(record.domain)
-        return seen
+        return _streamed_cookiewall_domains(self.visit_records)
+
+
+class DatasetStream:
+    """A lazy view of a bundle: record accessors are fresh iterators.
+
+    Nothing is materialised at load time beyond the manifest, the
+    toplists, and the tracking list; every ``iter_*`` call opens the
+    underlying JSONL file again, so repeated passes work and memory
+    stays O(one record).
+    """
+
+    def __init__(
+        self,
+        directory: Path,
+        manifest: Dict,
+        toplists: Dict[str, object],
+        tracking_domains: List[str],
+    ) -> None:
+        self.directory = directory
+        self.manifest = manifest
+        self.toplists = toplists
+        self.tracking_domains = tracking_domains
+
+    def iter_visit_records(self) -> Iterator[VisitRecord]:
+        return iter_records(self.directory / "visits.jsonl")
+
+    def iter_cookie_measurements(self) -> Iterator[CookieMeasurement]:
+        return iter_records(self.directory / "cookies.jsonl")
+
+    def iter_ublock_records(self) -> Iterator[UBlockRecord]:
+        return iter_records(self.directory / "ublock.jsonl")
+
+    def cookiewall_domains(self) -> List[str]:
+        return _streamed_cookiewall_domains(self.iter_visit_records())
 
 
 def export_dataset(
     directory: Union[str, Path],
     *,
     world: World,
-    visit_records: Sequence[VisitRecord] = (),
-    cookie_measurements: Sequence[CookieMeasurement] = (),
-    ublock_records: Sequence[UBlockRecord] = (),
+    visit_records: Iterable[VisitRecord] = (),
+    cookie_measurements: Iterable[CookieMeasurement] = (),
+    ublock_records: Iterable[UBlockRecord] = (),
     description: str = "",
 ) -> Path:
-    """Write a measurement bundle; returns the directory path."""
+    """Write a measurement bundle; returns the directory path.
+
+    The record arguments may be one-shot iterators (e.g.
+    ``RunResult.iter_records()``): each is consumed exactly once by an
+    appending :func:`save_records` pass, and the manifest counts come
+    from the number of records actually written.
+    """
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
 
-    save_records(visit_records, directory / "visits.jsonl")
-    save_records(cookie_measurements, directory / "cookies.jsonl")
-    save_records(ublock_records, directory / "ublock.jsonl")
+    counts: Dict[str, int] = {}
+    for name, records in (
+        ("visits.jsonl", visit_records),
+        ("cookies.jsonl", cookie_measurements),
+        ("ublock.jsonl", ublock_records),
+    ):
+        path = directory / name
+        # Fresh bundle file, then stream-append: a single pass that
+        # also composes with callers appending further waves later.
+        if path.exists():
+            path.unlink()
+        counts[name] = save_records(records, path, append=True)
     export_all(world.toplists, directory / "toplists")
     (directory / "justdomains.txt").write_text(
         world.tracking_list.to_text(), encoding="utf-8"
@@ -66,9 +125,9 @@ def export_dataset(
         "seed": world.config.seed,
         "scale": world.config.scale,
         "crawl_targets": len(world.crawl_targets),
-        "visit_records": len(visit_records),
-        "cookie_measurements": len(cookie_measurements),
-        "ublock_records": len(ublock_records),
+        "visit_records": counts["visits.jsonl"],
+        "cookie_measurements": counts["cookies.jsonl"],
+        "ublock_records": counts["ublock.jsonl"],
         "files": [
             "visits.jsonl", "cookies.jsonl", "ublock.jsonl",
             "toplists/", "justdomains.txt",
@@ -80,24 +139,35 @@ def export_dataset(
     return directory
 
 
-def load_dataset(directory: Union[str, Path]) -> Dataset:
-    """Read a bundle written by :func:`export_dataset`."""
+def load_dataset(
+    directory: Union[str, Path], *, stream: bool = False
+) -> Union[Dataset, "DatasetStream"]:
+    """Read a bundle written by :func:`export_dataset`.
+
+    With ``stream=True`` the returned :class:`DatasetStream` exposes
+    record *iterators* instead of materialised lists — the shape the
+    streaming analysis layer consumes directly.
+    """
     directory = Path(directory)
     manifest = json.loads((directory / _MANIFEST).read_text(encoding="utf-8"))
-    dataset = Dataset(manifest=manifest)
-    for record in load_records(directory / "visits.jsonl"):
-        dataset.visit_records.append(record)
-    for record in load_records(directory / "cookies.jsonl"):
-        dataset.cookie_measurements.append(record)
-    for record in load_records(directory / "ublock.jsonl"):
-        dataset.ublock_records.append(record)
+    toplists: Dict[str, object] = {}
     for csv_path in sorted((directory / "toplists").glob("crux_*.csv")):
         toplist = import_toplist(csv_path)
-        dataset.toplists[toplist.country] = toplist
+        toplists[toplist.country] = toplist
     from repro.blocklists import JustDomainsList
 
     tracking = JustDomainsList.from_text(
         (directory / "justdomains.txt").read_text(encoding="utf-8")
     )
-    dataset.tracking_domains = list(tracking)
+    tracking_domains = list(tracking)
+    if stream:
+        return DatasetStream(directory, manifest, toplists, tracking_domains)
+    dataset = Dataset(
+        manifest=manifest,
+        toplists=toplists,
+        tracking_domains=tracking_domains,
+    )
+    dataset.visit_records.extend(iter_records(directory / "visits.jsonl"))
+    dataset.cookie_measurements.extend(iter_records(directory / "cookies.jsonl"))
+    dataset.ublock_records.extend(iter_records(directory / "ublock.jsonl"))
     return dataset

@@ -8,7 +8,7 @@ during analysis.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Sequence, Tuple
 
 from repro.analysis.stats import ecdf_at, mean, median, pearson
 from repro.categorize import WebFilterDB
@@ -86,6 +86,26 @@ class Figure2:
     records: List[PriceRecord] = field(default_factory=list)
     unparsed_domains: List[str] = field(default_factory=list)
 
+    def add_visit(self, record: VisitRecord) -> None:
+        """Fold one wall record in (price extraction + normalisation).
+
+        Both :func:`compute_fig2` and the streaming analysis pass feed
+        records through this single entry point, so the two paths
+        produce identical figures by construction.
+        """
+        price = extract_price(record.banner_text)
+        if price is None:
+            self.unparsed_domains.append(record.domain)
+            return
+        tld = public_suffix(record.domain) or "?"
+        self.records.append(
+            PriceRecord(
+                domain=record.domain,
+                tld=tld,
+                monthly_eur_cents=price.monthly_eur_cents,
+            )
+        )
+
     @property
     def heatmap(self) -> Dict[str, Dict[int, int]]:
         out: Dict[str, Dict[int, int]] = {}
@@ -124,22 +144,15 @@ class Figure2:
         return "\n".join(lines)
 
 
-def compute_fig2(wall_records: Sequence[VisitRecord]) -> Figure2:
-    """Extract and normalise prices from detected wall banner text."""
+def compute_fig2(wall_records: Iterable[VisitRecord]) -> Figure2:
+    """Extract and normalise prices from detected wall banner text.
+
+    *wall_records* may be any iterable (including a one-shot record
+    stream): it is consumed exactly once.
+    """
     figure = Figure2()
     for record in wall_records:
-        price = extract_price(record.banner_text)
-        if price is None:
-            figure.unparsed_domains.append(record.domain)
-            continue
-        tld = public_suffix(record.domain) or "?"
-        figure.records.append(
-            PriceRecord(
-                domain=record.domain,
-                tld=tld,
-                monthly_eur_cents=price.monthly_eur_cents,
-            )
-        )
+        figure.add_visit(record)
     return figure
 
 
@@ -307,8 +320,14 @@ class Figure6:
 
 
 def compute_fig6(
-    wall_measurements: Sequence[CookieMeasurement], figure2: Figure2
+    wall_measurements: Iterable[CookieMeasurement], figure2: Figure2
 ) -> Figure6:
+    """Join tracking-cookie counts against fig2 prices.
+
+    *wall_measurements* is consumed in a single pass; only the joined
+    (tracking, price) points — one pair per priced wall site — are
+    retained, so the correlation works off a measurement *stream*.
+    """
     prices = {r.domain: r.monthly_eur for r in figure2.records}
     figure = Figure6()
     for measurement in wall_measurements:

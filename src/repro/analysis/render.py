@@ -16,6 +16,53 @@ from repro.errors import AnalysisError
 _SHADES = " .:-=+*#%@"
 
 
+#: A box plot row is fully determined by its five-number summary —
+#: (min, first quartile, median, third quartile, max) — which is what
+#: lets the streaming analysis path render distributions without ever
+#: materialising the underlying value lists.
+FiveNumberSummary = Tuple[float, float, float, float, float]
+
+
+def five_number_summary(values: Sequence[float]) -> FiveNumberSummary:
+    """(min, q1, median, q3, max) of *values* (the box-plot summary)."""
+    if not values:
+        raise AnalysisError("five_number_summary() of empty data")
+    return (
+        min(values),
+        quantile(values, 0.25),
+        quantile(values, 0.5),
+        quantile(values, 0.75),
+        max(values),
+    )
+
+
+def ascii_box_row_from_summary(
+    summary: FiveNumberSummary,
+    *,
+    low: float,
+    high: float,
+    width: int = 48,
+) -> str:
+    """One box-and-whisker row from a five-number summary."""
+    if high <= low:
+        high = low + 1.0
+
+    def column(value: float) -> int:
+        fraction = (value - low) / (high - low)
+        return max(0, min(width - 1, int(round(fraction * (width - 1)))))
+
+    q0, q1, q2, q3, q4 = (column(value) for value in summary)
+    row = [" "] * width
+    for i in range(q0, q4 + 1):
+        row[i] = "-"
+    for i in range(q1, q3 + 1):
+        row[i] = "="
+    row[q0] = "|"
+    row[q4] = "|"
+    row[q2] = "#"
+    return "".join(row)
+
+
 def ascii_box_row(
     values: Sequence[float],
     *,
@@ -26,27 +73,42 @@ def ascii_box_row(
     """One box-and-whisker row scaled to [low, high]."""
     if not values:
         raise AnalysisError("ascii_box_row() of empty data")
-    if high <= low:
-        high = low + 1.0
+    return ascii_box_row_from_summary(
+        five_number_summary(values), low=low, high=high, width=width
+    )
 
-    def column(value: float) -> int:
-        fraction = (value - low) / (high - low)
-        return max(0, min(width - 1, int(round(fraction * (width - 1)))))
 
-    q0 = column(min(values))
-    q1 = column(quantile(values, 0.25))
-    q2 = column(quantile(values, 0.5))
-    q3 = column(quantile(values, 0.75))
-    q4 = column(max(values))
-    row = [" "] * width
-    for i in range(q0, q4 + 1):
-        row[i] = "-"
-    for i in range(q1, q3 + 1):
-        row[i] = "="
-    row[q0] = "|"
-    row[q4] = "|"
-    row[q2] = "#"
-    return "".join(row)
+def ascii_boxplot_from_summaries(
+    groups: Dict[str, Optional[FiveNumberSummary]],
+    *,
+    low: float,
+    high: float,
+    width: int = 48,
+    log_scale: bool = False,
+) -> str:
+    """Multi-row box plot from per-group five-number summaries.
+
+    A ``None`` summary marks an empty group: it is skipped but still
+    participates in label-width layout — matching what
+    :func:`ascii_boxplot` does with an empty value list.  The *low* /
+    *high* bounds are the extremes across all groups (the caller knows
+    them from its summaries); *log_scale* only controls the scale note,
+    the summaries are expected to be pre-transformed.
+    """
+    if not groups:
+        raise AnalysisError("ascii_boxplot() of empty groups")
+    label_width = max(len(label) for label in groups) + 2
+    lines = []
+    for label, summary in groups.items():
+        if summary is None:
+            continue
+        row = ascii_box_row_from_summary(
+            summary, low=low, high=high, width=width
+        )
+        lines.append(f"{label:<{label_width}}{row}")
+    scale_note = " (log scale)" if log_scale else ""
+    lines.append(f"{'':<{label_width}}{'min':<{width - 6}}   max{scale_note}")
+    return "\n".join(lines)
 
 
 def ascii_boxplot(
@@ -63,18 +125,16 @@ def ascii_boxplot(
         transform(v) for values in groups.values() for v in values
     ]
     low, high = min(all_values), max(all_values)
-    label_width = max(len(label) for label in groups) + 2
-    lines = []
-    for label, values in groups.items():
-        if not values:
-            continue
-        row = ascii_box_row(
-            [transform(v) for v in values], low=low, high=high, width=width
+    summaries = {
+        label: (
+            five_number_summary([transform(v) for v in values])
+            if values else None
         )
-        lines.append(f"{label:<{label_width}}{row}")
-    scale_note = " (log scale)" if log_scale else ""
-    lines.append(f"{'':<{label_width}}{'min':<{width - 6}}   max{scale_note}")
-    return "\n".join(lines)
+        for label, values in groups.items()
+    }
+    return ascii_boxplot_from_summaries(
+        summaries, low=low, high=high, width=width, log_scale=log_scale
+    )
 
 
 def ascii_scatter(

@@ -38,10 +38,23 @@ class LandscapeReport:
         return "\n".join(lines)
 
 
-def compute_landscape(world: World, crawl: CrawlResult) -> LandscapeReport:
+def landscape_from_aggregates(
+    world: World,
+    wall_domains: Set[str],
+    placement_counts: Dict[str, int],
+) -> LandscapeReport:
+    """Finalise the §4.1 report from crawl aggregates.
+
+    *wall_domains* is the set of domains any VP detected as a
+    cookiewall; *placement_counts* counts banner placements over the
+    German VP's wall records.  Both :func:`compute_landscape` and the
+    single-pass
+    :class:`~repro.analysis.streaming.StreamingCrawlAnalysis` reduce
+    to these aggregates, so their reports are identical by
+    construction.
+    """
     report = LandscapeReport()
     report.total_targets = len(world.crawl_targets)
-    wall_domains: Set[str] = set(crawl.cookiewall_domains())
     report.unique_walls = len(wall_domains)
     if report.total_targets:
         report.overall_rate = report.unique_walls / report.total_targets
@@ -70,10 +83,16 @@ def compute_landscape(world: World, crawl: CrawlResult) -> LandscapeReport:
     if union_top1k:
         report.countrywise_top1k_rate = len(top1k_walls) / len(union_top1k)
 
+    report.placement_counts = dict(placement_counts)
+    return report
+
+
+def compute_landscape(world: World, crawl: CrawlResult) -> LandscapeReport:
+    """The list-based oracle: aggregate a materialised crawl result."""
+    wall_domains: Set[str] = set(crawl.cookiewall_domains())
     # Placement mix from the German VP's detections (the most complete).
+    placement_counts: Dict[str, int] = {}
     for record in crawl.cookiewalls("DE"):
         location = record.banner_location
-        report.placement_counts[location] = (
-            report.placement_counts.get(location, 0) + 1
-        )
-    return report
+        placement_counts[location] = placement_counts.get(location, 0) + 1
+    return landscape_from_aggregates(world, wall_domains, placement_counts)

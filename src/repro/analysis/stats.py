@@ -1,9 +1,28 @@
-"""Small statistics helpers (no external dependencies needed)."""
+"""Statistics helpers: list-based reducers and streaming aggregators.
+
+Two families live here.  The list-based functions (:func:`mean`,
+:func:`median`, :func:`quantile`, :func:`ecdf`, :func:`ecdf_at`,
+:func:`pearson`) materialise their input; they are the *differential
+oracles* the streaming analysis layer is tested against.  The
+single-pass aggregators (:class:`OnlineStats`, :class:`StreamingECDF`,
+:class:`TopK`) consume a value stream once with bounded state, so an
+analysis fed from :func:`~repro.measure.storage.iter_merged_jsonl` or
+:meth:`~repro.api.result.RunResult.iter_records` never holds the
+record stream in memory.
+
+Exactness contract: while :class:`StreamingECDF` stays under its
+point budget (every quantile/ECDF query is answered from exact
+value counts) its answers are **byte-identical** to the list-based
+oracles over the same stream — the property the streaming
+figure/table pipeline relies on.  Past the budget it degrades to a
+bounded-memory histogram sketch (closest-pair collapse) and answers
+become approximate.
+"""
 
 from __future__ import annotations
 
 import math
-from typing import Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import AnalysisError
 
@@ -65,6 +84,234 @@ def ecdf_at(values: Sequence[float], threshold: float) -> float:
     if not items:
         raise AnalysisError("ecdf_at() of empty data")
     return sum(1 for v in items if v <= threshold) / len(items)
+
+
+class OnlineStats:
+    """Single-pass count/mean/variance/min/max (Welford's algorithm).
+
+    O(1) state however long the stream; mean and variance are
+    numerically stable (no sum-of-squares cancellation).  ``variance``
+    is the population variance, matching
+    ``sum((x - mean)**2 for x in xs) / len(xs)``.
+    """
+
+    __slots__ = ("count", "mean", "_m2", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.mean = 0.0
+        self._m2 = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def add(self, value: float) -> "OnlineStats":
+        value = float(value)
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (value - self.mean)
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        return self
+
+    def extend(self, values: Iterable[float]) -> "OnlineStats":
+        for value in values:
+            self.add(value)
+        return self
+
+    @property
+    def variance(self) -> float:
+        if self.count == 0:
+            raise AnalysisError("variance of empty OnlineStats")
+        return self._m2 / self.count
+
+    @property
+    def stdev(self) -> float:
+        return math.sqrt(self.variance)
+
+    def merge(self, other: "OnlineStats") -> "OnlineStats":
+        """Absorb *other* (Chan's parallel-Welford combination)."""
+        if other.count == 0:
+            return self
+        if self.count == 0:
+            self.count = other.count
+            self.mean = other.mean
+            self._m2 = other._m2
+            self.min = other.min
+            self.max = other.max
+            return self
+        total = self.count + other.count
+        delta = other.mean - self.mean
+        self._m2 += other._m2 + delta * delta * self.count * other.count / total
+        self.mean += delta * other.count / total
+        self.count = total
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+        return self
+
+
+class StreamingECDF:
+    """Bounded-memory empirical distribution over a value stream.
+
+    Exact while the number of *distinct* values stays within
+    ``max_points`` (the default budget comfortably covers prices,
+    cookie counts, and bucket-like measurement values): every query —
+    :meth:`fraction_at_most`, :meth:`quantile`, :meth:`median`,
+    :meth:`ecdf` — then returns byte-for-byte what the list-based
+    oracles return for the same stream, because the same
+    interpolation arithmetic runs over the same value multiset.
+    When the budget is exceeded the two closest points are collapsed
+    (weight-merged, Ben-Haim/Tom-Tov style), turning the structure
+    into an approximate histogram sketch; :attr:`exact` reports which
+    regime the instance is in.
+    """
+
+    def __init__(self, max_points: int = 4096) -> None:
+        if max_points < 2:
+            raise AnalysisError("StreamingECDF needs max_points >= 2")
+        self.max_points = max_points
+        self.count = 0
+        self.exact = True
+        self._counts: Dict[float, int] = {}
+        self._sorted: Optional[List[Tuple[float, int]]] = None
+
+    def add(self, value: float, weight: int = 1) -> "StreamingECDF":
+        value = float(value)
+        self.count += weight
+        self._counts[value] = self._counts.get(value, 0) + weight
+        self._sorted = None
+        if len(self._counts) > self.max_points:
+            self._collapse_closest()
+        return self
+
+    def extend(self, values: Iterable[float]) -> "StreamingECDF":
+        for value in values:
+            self.add(value)
+        return self
+
+    def merge(self, other: "StreamingECDF") -> "StreamingECDF":
+        for value, weight in other._counts.items():
+            self.add(value, weight)
+        self.exact = self.exact and other.exact
+        return self
+
+    def _collapse_closest(self) -> None:
+        """Merge the two closest points into their weighted mean."""
+        points = sorted(self._counts)
+        gaps = (
+            (points[i + 1] - points[i], i) for i in range(len(points) - 1)
+        )
+        _, i = min(gaps)
+        a, b = points[i], points[i + 1]
+        wa, wb = self._counts.pop(a), self._counts.pop(b)
+        merged = (a * wa + b * wb) / (wa + wb)
+        self._counts[merged] = self._counts.get(merged, 0) + wa + wb
+        self.exact = False
+        self._sorted = None
+
+    def _points(self) -> List[Tuple[float, int]]:
+        if self._sorted is None:
+            self._sorted = sorted(self._counts.items())
+        return self._sorted
+
+    def fraction_at_most(self, threshold: float) -> float:
+        """Fraction of values <= threshold (the :func:`ecdf_at` oracle)."""
+        if self.count == 0:
+            raise AnalysisError("fraction_at_most() of empty StreamingECDF")
+        covered = sum(w for v, w in self._points() if v <= threshold)
+        return covered / self.count
+
+    def _value_at(self, position: int) -> float:
+        """The value a sorted materialisation would hold at *position*."""
+        seen = 0
+        for value, weight in self._points():
+            seen += weight
+            if position < seen:
+                return value
+        return self._points()[-1][0]
+
+    def quantile(self, q: float) -> float:
+        """Linear-interpolation quantile (the :func:`quantile` oracle)."""
+        if not 0 <= q <= 1:
+            raise AnalysisError("quantile q must be within [0, 1]")
+        if self.count == 0:
+            raise AnalysisError("quantile() of empty StreamingECDF")
+        if self.count == 1:
+            return float(self._points()[0][0])
+        # Identical arithmetic to stats.quantile over the sorted
+        # multiset, so exact-regime answers match byte for byte.
+        position = q * (self.count - 1)
+        low = int(math.floor(position))
+        high = int(math.ceil(position))
+        low_value = self._value_at(low)
+        if low == high:
+            return float(low_value)
+        high_value = self._value_at(high)
+        if low_value == high_value:
+            return float(low_value)
+        fraction = position - low
+        return low_value * (1 - fraction) + high_value * fraction
+
+    def median(self) -> float:
+        """Median via the :func:`median` oracle's midpoint arithmetic."""
+        if self.count == 0:
+            raise AnalysisError("median() of empty StreamingECDF")
+        mid = self.count // 2
+        if self.count % 2:
+            return float(self._value_at(mid))
+        return (self._value_at(mid - 1) + self._value_at(mid)) / 2.0
+
+    def ecdf(self) -> List[Tuple[float, float]]:
+        """(value, cumulative fraction) steps (the :func:`ecdf` oracle)."""
+        if self.count == 0:
+            raise AnalysisError("ecdf() of empty StreamingECDF")
+        out: List[Tuple[float, float]] = []
+        seen = 0
+        for value, weight in self._points():
+            seen += weight
+            out.append((value, seen / self.count))
+        return out
+
+
+class TopK:
+    """Streaming frequency counter with oracle-identical ranking.
+
+    Counts are exact (one dict entry per distinct key — bounded by the
+    key domain, e.g. website categories or price buckets, never by the
+    stream length).  :meth:`ranked` sorts by descending count with
+    Python's stable sort, so ties keep first-seen stream order —
+    exactly what the list-based figure computations produce; ``k``
+    truncates the ranking.  :meth:`mode` matches ``max(counts,
+    key=counts.get)``: the first-seen key among the most frequent.
+    """
+
+    def __init__(self) -> None:
+        self.counts: Dict[object, int] = {}
+        self.total = 0
+
+    def add(self, key, weight: int = 1) -> "TopK":
+        self.counts[key] = self.counts.get(key, 0) + weight
+        self.total += weight
+        return self
+
+    def extend(self, keys: Iterable) -> "TopK":
+        for key in keys:
+            self.add(key)
+        return self
+
+    def ranked(self, k: Optional[int] = None) -> List[Tuple[object, int]]:
+        items = sorted(self.counts.items(), key=lambda item: -item[1])
+        return items if k is None else items[:k]
+
+    def mode(self):
+        if not self.counts:
+            raise AnalysisError("mode() of empty TopK")
+        return max(self.counts, key=lambda key: self.counts[key])
+
+    def __len__(self) -> int:
+        return len(self.counts)
 
 
 def pearson(xs: Sequence[float], ys: Sequence[float]) -> float:

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import Dict, List, Set
 
 from repro.measure.crawl import CrawlResult
 from repro.urlkit import public_suffix
@@ -48,37 +48,62 @@ class Table1:
         return "\n".join(lines)
 
 
-def compute_table1(world: World, crawl: CrawlResult) -> Table1:
-    """Build Table 1 from detection records (measured, not ground truth).
+def table1_from_aggregates(
+    world: World,
+    vp_wall_domains: Dict[str, Set[str]],
+    vp_language_counts: Dict[str, int],
+) -> Table1:
+    """Finalise Table 1 from per-VP aggregates.
 
-    For each VP: the number of detected cookiewalls, how many of those
-    are on the VP country's own toplist, how many use the country's
-    ccTLD, and how many are in the country's most common language
-    (per the crawl's CLD3-style detection).
+    *vp_wall_domains* maps VP code to the set of domains that VP
+    detected as cookiewalls; *vp_language_counts* maps VP code to the
+    number of that VP's wall records whose detected language matches
+    the VP country's language.  Both the list-based
+    :func:`compute_table1` and the single-pass
+    :class:`~repro.analysis.streaming.StreamingCrawlAnalysis` reduce
+    their input to exactly these aggregates, so the finished table is
+    byte-identical between the two paths by construction.
     """
     table = Table1()
-    all_wall_domains = set()
+    all_wall_domains: Set[str] = set()
     for vp_code in VP_ORDER:
         vp = VANTAGE_POINTS[vp_code]
-        records = [r for r in crawl.by_vp(vp_code) if r.is_cookiewall]
-        domains = {r.domain for r in records}
+        domains = vp_wall_domains.get(vp_code, set())
         all_wall_domains.update(domains)
         toplist = world.toplists.get(vp.country_code)
         on_toplist = sum(1 for d in domains if toplist is not None and d in toplist)
         cctld = sum(
             1 for d in domains if public_suffix(d) == vp.cctld
         ) if vp.cctld else 0
-        language = sum(
-            1 for r in records if r.detected_language == vp.language
-        )
         table.rows.append(
             Table1Row(
                 vp=vp_code,
                 cookiewalls=len(domains),
                 toplist=on_toplist,
                 cctld=cctld,
-                language=language,
+                language=vp_language_counts.get(vp_code, 0),
             )
         )
     table.total_unique_walls = len(all_wall_domains)
     return table
+
+
+def compute_table1(world: World, crawl: CrawlResult) -> Table1:
+    """Build Table 1 from detection records (measured, not ground truth).
+
+    For each VP: the number of detected cookiewalls, how many of those
+    are on the VP country's own toplist, how many use the country's
+    ccTLD, and how many are in the country's most common language
+    (per the crawl's CLD3-style detection).  This is the list-based
+    differential oracle for the streaming analysis path.
+    """
+    vp_wall_domains: Dict[str, Set[str]] = {}
+    vp_language_counts: Dict[str, int] = {}
+    for vp_code in VP_ORDER:
+        vp = VANTAGE_POINTS[vp_code]
+        records = [r for r in crawl.by_vp(vp_code) if r.is_cookiewall]
+        vp_wall_domains[vp_code] = {r.domain for r in records}
+        vp_language_counts[vp_code] = sum(
+            1 for r in records if r.detected_language == vp.language
+        )
+    return table1_from_aggregates(world, vp_wall_domains, vp_language_counts)

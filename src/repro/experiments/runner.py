@@ -1,20 +1,17 @@
-"""Experiment registry: run any table/figure of the paper by id."""
+"""Experiment registry: run any table/figure of the paper by id.
+
+Every driver reads its artefact from the shared
+:class:`~repro.experiments.context.ExperimentContext`, which computes
+it either in one streaming pass over the record stream (the default)
+or via the materialised list-based oracle (``streaming=False``) —
+both produce byte-identical results.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional
 
-from repro.analysis.figures import (
-    compute_fig1,
-    compute_fig2,
-    compute_fig3,
-    compute_fig4,
-    compute_fig5,
-    compute_fig6,
-)
-from repro.analysis.report import compute_landscape
-from repro.analysis.tables import compute_table1
 from repro.experiments.context import ExperimentContext
 from repro.measure.accuracy import evaluate_records, random_audit
 from repro.webgen.world import World, build_world
@@ -38,7 +35,7 @@ class ExperimentResult:
 # ---------------------------------------------------------------------------
 
 def _table1(ctx: ExperimentContext) -> ExperimentResult:
-    table = compute_table1(ctx.world, ctx.detection_crawl())
+    table = ctx.table1()
     return ExperimentResult(
         "table1",
         "Table 1: cookiewalls per vantage point",
@@ -59,7 +56,7 @@ def _table1(ctx: ExperimentContext) -> ExperimentResult:
 
 
 def _fig1(ctx: ExperimentContext) -> ExperimentResult:
-    figure = compute_fig1(ctx.verified_wall_domains(), ctx.world.category_db)
+    figure = ctx.figure1()
     return ExperimentResult(
         "fig1",
         "Figure 1: categories of cookiewall websites",
@@ -69,7 +66,7 @@ def _fig1(ctx: ExperimentContext) -> ExperimentResult:
 
 
 def _fig2(ctx: ExperimentContext) -> ExperimentResult:
-    figure = compute_fig2(ctx.verified_wall_records_de())
+    figure = ctx.figure2()
     return ExperimentResult(
         "fig2",
         "Figure 2: monthly subscription price distribution",
@@ -85,8 +82,7 @@ def _fig2(ctx: ExperimentContext) -> ExperimentResult:
 
 
 def _fig3(ctx: ExperimentContext) -> ExperimentResult:
-    figure2 = compute_fig2(ctx.verified_wall_records_de())
-    figure = compute_fig3(figure2, ctx.world.category_db)
+    figure = ctx.figure3()
     return ExperimentResult(
         "fig3",
         "Figure 3: website category vs subscription price",
@@ -101,7 +97,7 @@ def _fig3(ctx: ExperimentContext) -> ExperimentResult:
 
 
 def _fig4(ctx: ExperimentContext) -> ExperimentResult:
-    comparison = compute_fig4(ctx.regular_measurements(), ctx.wall_measurements())
+    comparison = ctx.comparison_fig4()
     data = {
         "regular_medians": comparison.medians("a"),
         "wall_medians": comparison.medians("b"),
@@ -115,9 +111,7 @@ def _fig4(ctx: ExperimentContext) -> ExperimentResult:
 
 
 def _fig5(ctx: ExperimentContext) -> ExperimentResult:
-    comparison = compute_fig5(
-        ctx.contentpass_accept(), ctx.contentpass_subscription()
-    )
+    comparison = ctx.comparison_fig5()
     data = {
         "accept_medians": comparison.medians("a"),
         "subscription_medians": comparison.medians("b"),
@@ -130,8 +124,7 @@ def _fig5(ctx: ExperimentContext) -> ExperimentResult:
 
 
 def _fig6(ctx: ExperimentContext) -> ExperimentResult:
-    figure2 = compute_fig2(ctx.verified_wall_records_de())
-    figure = compute_fig6(ctx.wall_measurements(), figure2)
+    figure = ctx.figure6()
     return ExperimentResult(
         "fig6", "Figure 6: tracking cookies vs subscription price",
         figure.render(),
@@ -140,7 +133,7 @@ def _fig6(ctx: ExperimentContext) -> ExperimentResult:
 
 
 def _accuracy(ctx: ExperimentContext) -> ExperimentResult:
-    full = evaluate_records(ctx.world, ctx.detection_crawl().by_vp("DE"))
+    full = evaluate_records(ctx.world, ctx.iter_detection_records("DE"))
     audit = random_audit(
         ctx.world, ctx.crawler, vp="DE",
         sample_size=min(1000, len(ctx.world.crawl_targets)),
@@ -171,32 +164,38 @@ def _accuracy(ctx: ExperimentContext) -> ExperimentResult:
 
 
 def _ublock(ctx: ExperimentContext) -> ExperimentResult:
-    records = ctx.ublock_records()
-    suppressed = [r for r in records if r.suppressed]
-    broken = [r for r in suppressed if r.broken]
-    share = len(suppressed) / len(records) if records else 0.0
+    tested = 0
+    suppressed = 0
+    broken = []
+    for record in ctx.iter_ublock_records():
+        tested += 1
+        if record.suppressed:
+            suppressed += 1
+            if record.broken:
+                broken.append((record.domain, record.broken_reason))
+    share = suppressed / tested if tested else 0.0
     rendered = "\n".join(
         [
             "Bypassing cookiewalls with uBlock Origin (§4.5)",
-            f"  walls tested:     {len(records)}",
-            f"  suppressed:       {len(suppressed)} ({share * 100:.0f}%)",
+            f"  walls tested:     {tested}",
+            f"  suppressed:       {suppressed} ({share * 100:.0f}%)",
             f"  broken pages:     {len(broken)} "
-            f"({', '.join(r.broken_reason for r in broken)})",
+            f"({', '.join(reason for _, reason in broken)})",
         ]
     )
     return ExperimentResult(
         "ublock", "§4.5 uBlock bypass", rendered,
         {
-            "tested": len(records),
-            "suppressed": len(suppressed),
+            "tested": tested,
+            "suppressed": suppressed,
             "suppressed_share": share,
-            "broken": [(r.domain, r.broken_reason) for r in broken],
+            "broken": broken,
         },
     )
 
 
 def _landscape(ctx: ExperimentContext) -> ExperimentResult:
-    report = compute_landscape(ctx.world, ctx.detection_crawl())
+    report = ctx.landscape()
     return ExperimentResult(
         "landscape", "§4.1 cookiewall landscape", report.render(),
         {

@@ -133,6 +133,7 @@ instrumented browser session.
 from __future__ import annotations
 
 import hashlib
+import heapq
 import itertools
 import json
 import multiprocessing
@@ -140,24 +141,27 @@ import os
 import signal
 import threading
 import time
+import warnings
 import zlib
 from concurrent.futures import ProcessPoolExecutor as _PyProcessPool
 from concurrent.futures import ThreadPoolExecutor as _PyThreadPool
 from concurrent.futures import as_completed
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Dict, Iterator, List, Optional, Tuple, Union
+from typing import Callable, Dict, Iterator, List, Optional, Set, Tuple, Union
 
 from repro.errors import NetworkError
 from repro.measure.instrumentation import Event, EventLog
 from repro.measure.storage import (
-    decode_record,
-    encode_record,
-    iter_jsonl,
+    RawRecord,
+    TornRecordWarning,
+    encode_record_line,
     iter_records,
     load_records,
+    materialize_record,
     merge_record_spools,
     save_records,
+    validate_record_payload,
 )
 from repro.rng import derive_seed
 
@@ -399,10 +403,12 @@ def _worker_world(world_key: Tuple, latency: float):
 def _run_shard_bundle(bundle: Dict) -> Dict:
     """Execute one picklable shard bundle inside a worker process.
 
-    Returns serialized outcomes (records pass through
-    :func:`~repro.measure.storage.encode_record`, the same canonical
-    form checkpoints use) plus the worker's pid and elapsed time, so
-    the parent can attribute per-process throughput.
+    Returns serialized outcomes — each record is dumped **once**, in
+    the worker, to its canonical JSONL line
+    (:func:`~repro.measure.storage.encode_record_line`); the parent
+    passes those bytes through to spools and checkpoints without ever
+    decoding them — plus the worker's pid and elapsed time, so the
+    parent can attribute per-process throughput.
     """
     started = time.perf_counter()
     from repro.measure.crawl import Crawler
@@ -441,7 +447,9 @@ def _run_shard_bundle(bundle: Dict) -> Dict:
             "index": index,
             "attempts": attempts,
             "error": error,
-            "record": encode_record(record) if record is not None else None,
+            "record": (
+                encode_record_line(record) if record is not None else None
+            ),
         })
     return {
         "shard": bundle["shard"],
@@ -468,6 +476,207 @@ class CheckpointCompaction:
             f"{self.path}: kept {self.kept} outcomes, dropped "
             f"{self.dropped} (fingerprint {self.fingerprint})"
         )
+
+
+# ---------------------------------------------------------------------------
+# Streaming checkpoint machinery
+#
+# A checkpoint is append-only: each shard flush (and each reconcile
+# rewrite) appends one index-sorted batch of outcome lines, so the file
+# is a concatenation of *sorted runs*.  That structure makes both
+# resume and compaction streamable: a byte-offset scan finds the run
+# boundaries, then a k-way ``heapq.merge`` over the runs yields every
+# outcome in plan order — duplicates adjacent, latest occurrence last
+# (``heapq.merge`` is stable, and the runs are passed in file order) —
+# with one buffered line per run in memory, never the full replay set.
+# ---------------------------------------------------------------------------
+
+@dataclass
+class _CheckpointScan:
+    """Pass 1 of a streaming checkpoint read: structure, not payloads."""
+
+    #: The header line exactly as found (no newline).
+    header_line: str
+    header: Dict
+    #: Byte offset where each sorted run's first outcome line starts.
+    runs: List[int]
+    #: Byte offset just past the last complete line (a torn trailing
+    #: line is excluded, as on any checkpoint read).
+    end: int
+    #: Total outcome lines (duplicates included).
+    outcome_lines: int
+    #: Unique plan indices with a checkpointed outcome.
+    indices: Set[int]
+
+
+def _scan_checkpoint(
+    path: Path,
+    *,
+    validate: Optional[Callable[[int, Dict], None]] = None,
+    on_header: Optional[Callable[[Dict], None]] = None,
+) -> _CheckpointScan:
+    """Scan *path* once, collecting run boundaries and the index set.
+
+    Structural errors raise :class:`ValueError` (mid-file corruption,
+    an outcome without an integer index) or :class:`CheckpointMismatch`
+    (not a checkpoint at all); *validate* may add per-outcome checks
+    and *on_header* runs as soon as the header parses, so e.g. a
+    fingerprint mismatch is reported before the rest of the file is
+    read.  Only integers ever accumulate here — record payloads stay
+    on disk.
+    """
+    header_line: Optional[str] = None
+    header: Optional[Dict] = None
+    runs: List[int] = []
+    end = 0
+    outcome_lines = 0
+    indices: Set[int] = set()
+    prev_index: Optional[int] = None
+    #: A decode failure held back one line: only if another line
+    #: follows is it corruption rather than a torn final write.
+    pending: Optional[Tuple[int, Exception]] = None
+    offset = 0
+    with open(path, "rb") as handle:
+        for line_number, raw in enumerate(handle, start=1):
+            line_start = offset
+            offset += len(raw)
+            if pending is not None:
+                bad_line, error = pending
+                raise ValueError(
+                    f"{path}:{bad_line}: invalid JSON mid-file ({error})"
+                )
+            try:
+                text = raw.decode("utf-8").strip()
+            except UnicodeDecodeError as error:
+                pending = (line_number, error)
+                continue
+            if not text:
+                continue
+            try:
+                payload = json.loads(text)
+            except json.JSONDecodeError as error:
+                pending = (line_number, error)
+                continue
+            kind = (
+                payload.get("kind") if isinstance(payload, dict) else None
+            )
+            if header is None:
+                if kind != "header":
+                    raise CheckpointMismatch(
+                        f"{path}: not a crawl checkpoint "
+                        f"(first line is {kind!r})"
+                    )
+                header_line = text
+                header = payload
+                if on_header is not None:
+                    on_header(header)
+                end = offset
+                continue
+            if kind != "outcome":
+                end = offset
+                continue
+            index = payload.get("index")
+            if not isinstance(index, int):
+                raise ValueError(
+                    f"{path}:{line_number}: outcome without an index"
+                )
+            if validate is not None:
+                validate(line_number, payload)
+            outcome_lines += 1
+            indices.add(index)
+            if prev_index is None or index <= prev_index:
+                runs.append(line_start)
+            prev_index = index
+            end = offset
+    if pending is not None:
+        bad_line, error = pending
+        warnings.warn(
+            f"{path}:{bad_line}: skipping torn trailing line "
+            f"(crashed writer? {error})",
+            TornRecordWarning,
+            stacklevel=2,
+        )
+    if header is None or header_line is None:
+        raise CheckpointMismatch(f"{path}: not a crawl checkpoint (empty)")
+    return _CheckpointScan(
+        header_line=header_line,
+        header=header,
+        runs=runs,
+        end=end,
+        outcome_lines=outcome_lines,
+        indices=indices,
+    )
+
+
+def _iter_checkpoint_run(
+    path: Path, start: int, stop: int
+) -> Iterator[Tuple[int, Dict, str]]:
+    """Stream one sorted run's ``(index, payload, line)`` triples."""
+    with open(path, "rb") as handle:
+        handle.seek(start)
+        position = start
+        while position < stop:
+            raw = handle.readline()
+            if not raw:
+                break
+            position += len(raw)
+            text = raw.decode("utf-8").strip()
+            if not text:
+                continue
+            payload = json.loads(text)
+            if payload.get("kind") != "outcome":
+                continue
+            yield payload["index"], payload, text
+
+
+def _merge_checkpoint_runs(
+    path: Path, scan: _CheckpointScan
+) -> Iterator[Tuple[int, Dict, str]]:
+    """Latest-wins plan-order stream over a checkpoint's sorted runs.
+
+    Duplicated indices (a shard re-run after a crash) collapse to the
+    occurrence latest in the file — the append order is the authority
+    — exactly like the dict-based compaction this replaces, but with
+    one buffered line per run instead of the whole outcome set.
+    """
+    bounds = scan.runs + [scan.end]
+    streams = [
+        _iter_checkpoint_run(path, bounds[i], bounds[i + 1])
+        for i in range(len(scan.runs))
+    ]
+    held: Optional[Tuple[int, Dict, str]] = None
+    for item in heapq.merge(*streams, key=lambda item: item[0]):
+        if held is not None and item[0] != held[0]:
+            yield held
+        held = item
+    if held is not None:
+        yield held
+
+
+@dataclass
+class CheckpointReplay:
+    """What a streaming reconcile replays into the current run.
+
+    The spool-merge resume path deliberately holds no records: the
+    completed *indices* (ints), the — small — permanent failures, and
+    the path of the sorted replay part file the k-way join consumes.
+    Only the in-memory merge materialises replayed outcomes, and even
+    those carry zero-copy :class:`~repro.measure.storage.RawRecord`
+    payloads until a consumer looks inside.
+    """
+
+    completed: Set[int] = field(default_factory=set)
+    #: Latest-wins permanently failed outcomes (spool merge only).
+    failures: List["TaskOutcome"] = field(default_factory=list)
+    #: In-memory merge only: every replayed outcome, records zero-copy.
+    outcomes: List["TaskOutcome"] = field(default_factory=list)
+    #: Spool merge only: the index-sorted record replay file, if any
+    #: completed outcome carried a record.
+    resume_part: Optional[Path] = None
+
+    @property
+    def count(self) -> int:
+        return len(self.completed)
 
 
 @dataclass
@@ -511,11 +720,18 @@ class EngineResult:
         """The produced records, plan-ordered, skipping failed tasks.
 
         For a spool-merged result this *materialises* the full list
-        from disk — prefer :meth:`iter_records` at scale.
+        from disk — prefer :meth:`iter_records` at scale.  Outcomes
+        that travelled zero-copy (process workers, checkpoint replay)
+        are decoded here, at the consumer boundary — the first time
+        anyone actually needs the typed objects.
         """
         if self.outcomes is None:
             return load_records(self.spool_path)
-        return [o.record for o in self.outcomes if o.record is not None]
+        return [
+            materialize_record(o.record)
+            for o in self.outcomes
+            if o.record is not None
+        ]
 
     def iter_records(self) -> Iterator[object]:
         """Stream the records in plan order without materialising."""
@@ -524,7 +740,7 @@ class EngineResult:
             return
         for outcome in self.outcomes:
             if outcome.record is not None:
-                yield outcome.record
+                yield materialize_record(outcome.record)
 
     @property
     def record_count(self) -> int:
@@ -911,17 +1127,14 @@ class CrawlEngine:
     def execute(self, plan: CrawlPlan) -> EngineResult:
         """Run *plan* and return the plan-ordered merged result."""
         sharded = plan.sharded(self.shards)
-        replayed = self._reconcile_checkpoint(plan)
-        if replayed:
-            sharded = [
-                [(index, task) for index, task in shard if index not in replayed]
-                for shard in sharded
-            ]
-        self._done = len(replayed)
         self._total = len(plan)
         self._spool_partial = None
         self._merge_parts = []
         self._process_stats = {}
+        # Spool preparation runs *before* the checkpoint reconcile: the
+        # reconcile streams the replay records straight into this
+        # run's .resume.part, which the cleanup of an interrupted
+        # earlier run's part files would otherwise delete.
         if self.spool_path is not None:
             if self.merge == "spool":
                 # Part files from an interrupted earlier run would
@@ -934,6 +1147,16 @@ class CrawlEngine:
             else:
                 self._spool_partial = Path(f"{self.spool_path}.partial")
                 save_records([], self._spool_partial)
+        replay = self._reconcile_checkpoint(plan)
+        if replay.completed:
+            sharded = [
+                [
+                    (index, task) for index, task in shard
+                    if index not in replay.completed
+                ]
+                for shard in sharded
+            ]
+        self._done = replay.count
         self._emit("plan", "engine://plan", {
             "tasks": len(plan),
             "shards": self.shards,
@@ -941,10 +1164,10 @@ class CrawlEngine:
             "backend": self.resolved_backend,
             "merge": self.merge,
         })
-        if replayed:
+        if replay.count:
             self._emit("resume", "engine://resume", {
-                "completed": len(replayed),
-                "remaining": len(plan) - len(replayed),
+                "completed": replay.count,
+                "remaining": len(plan) - replay.count,
             })
         executor: Executor = self.executor or self._default_executor()
         started = time.perf_counter()
@@ -958,20 +1181,28 @@ class CrawlEngine:
         self._emit_process_throughput()
         if self.merge == "spool":
             result = self._finalise_spool_merge(
-                plan, replayed, outcomes, elapsed
+                plan, replay, outcomes, elapsed
             )
         else:
-            outcomes.extend(replayed.values())
+            outcomes.extend(replay.outcomes)
             outcomes.sort(key=lambda outcome: outcome.index)
             result = EngineResult(
-                outcomes=outcomes, elapsed=elapsed, resumed=len(replayed)
+                outcomes=outcomes, elapsed=elapsed, resumed=replay.count
             )
             if self.spool_path is not None:
                 # Shards appended to the .partial file in completion
                 # order (a crash leaves them there, and the previous
                 # complete output untouched); success writes the
-                # canonical file and drops the partial.
-                save_records(result.records, self.spool_path)
+                # canonical file and drops the partial.  Iterating the
+                # outcomes directly (not .records) keeps zero-copy
+                # records serialized end to end.
+                save_records(
+                    (
+                        o.record for o in outcomes
+                        if o.record is not None
+                    ),
+                    self.spool_path,
+                )
                 if self._spool_partial is not None:
                     self._spool_partial.unlink(missing_ok=True)
         if self.checkpoint_path is not None:
@@ -1114,8 +1345,12 @@ class CrawlEngine:
             TaskOutcome(
                 index=entry["index"],
                 task=plan.tasks[entry["index"]],
+                # The worker shipped the canonical serialized line;
+                # wrap it opaque — spool and checkpoint writes splice
+                # these bytes straight through, and a decode happens
+                # only if a consumer inspects the record's fields.
                 record=(
-                    decode_record(entry["record"])
+                    RawRecord(entry["record"])
                     if entry["record"] is not None else None
                 ),
                 error=entry["error"],
@@ -1157,24 +1392,22 @@ class CrawlEngine:
     def _finalise_spool_merge(
         self,
         plan: CrawlPlan,
-        replayed: Dict[int, TaskOutcome],
+        replay: CheckpointReplay,
         failure_outcomes: List[TaskOutcome],
         elapsed: float,
     ) -> EngineResult:
-        """The k-way plan-order streaming join over the shard spools."""
+        """The k-way plan-order streaming join over the shard spools.
+
+        The replay records were already streamed to their own sorted
+        part file during the checkpoint reconcile; they join here as
+        one more input to the merge — the resume path never holds
+        them in memory.
+        """
         parts = list(self._merge_parts)
         failures = list(failure_outcomes)
-        if replayed:
-            resume_part = Path(f"{self.spool_path}.resume.part")
-            with resume_part.open("w", encoding="utf-8") as handle:
-                for index in sorted(replayed):
-                    outcome = replayed[index]
-                    if outcome.record is not None:
-                        handle.write(self._outcome_line(outcome))
-            parts.append(resume_part)
-            failures.extend(
-                o for o in replayed.values() if o.error is not None
-            )
+        if replay.resume_part is not None:
+            parts.append(replay.resume_part)
+        failures.extend(replay.failures)
         count = merge_record_spools(parts, self.spool_path)
         for part in parts:
             Path(part).unlink(missing_ok=True)
@@ -1182,7 +1415,7 @@ class CrawlEngine:
         return EngineResult(
             outcomes=None,
             elapsed=elapsed,
-            resumed=len(replayed),
+            resumed=replay.count,
             spool_path=Path(self.spool_path),
             total=len(plan),
             spooled_records=count,
@@ -1192,106 +1425,155 @@ class CrawlEngine:
     # ------------------------------------------------------------------
     # Checkpointing
     # ------------------------------------------------------------------
-    def _reconcile_checkpoint(self, plan: CrawlPlan) -> Dict[int, TaskOutcome]:
-        """Load resumable outcomes and (re)start the checkpoint file.
+    def _checkpoint_header(self, fingerprint: str, tasks: int) -> str:
+        header = {
+            "kind": "header",
+            "version": CHECKPOINT_VERSION,
+            "fingerprint": fingerprint,
+            "tasks": tasks,
+        }
+        return json.dumps(header, ensure_ascii=False) + "\n"
 
-        Returns the plan-index → outcome map to replay.  The file is
-        rewritten as header + replayed outcomes, so it stays canonical
-        (one header, then outcomes) across repeated resumes.
+    def _reconcile_checkpoint(self, plan: CrawlPlan) -> CheckpointReplay:
+        """Streaming resume: reconcile the checkpoint, (re)start the file.
+
+        The checkpoint is rewritten as header + latest-wins outcomes in
+        plan order (so it stays canonical — and compact — across
+        repeated resumes) in one k-way streaming pass over its sorted
+        runs; under the spool merge the replay records flow straight
+        into the ``.resume.part`` file during that same pass.  The
+        returned :class:`CheckpointReplay` therefore carries the
+        completed index set, never the records.
         """
+        replay = CheckpointReplay()
         if self.checkpoint_path is None:
-            return {}
+            return replay
         fingerprint = self.fingerprint(plan)
-        replayed: Dict[int, TaskOutcome] = {}
-        if self.resume and self.checkpoint_path.exists():
-            replayed = self._load_checkpoint(plan, fingerprint)
         self.checkpoint_path.parent.mkdir(parents=True, exist_ok=True)
-        with self.checkpoint_path.open("w", encoding="utf-8") as handle:
-            header = {
-                "kind": "header",
-                "version": CHECKPOINT_VERSION,
-                "fingerprint": fingerprint,
-                "tasks": len(plan),
-            }
-            handle.write(json.dumps(header, ensure_ascii=False) + "\n")
-            for index in sorted(replayed):
-                handle.write(self._outcome_line(replayed[index]))
-        return replayed
+        if self.resume and self.checkpoint_path.exists():
+            replay = self._streaming_reconcile(plan, fingerprint)
+        else:
+            with self.checkpoint_path.open("w", encoding="utf-8") as handle:
+                handle.write(self._checkpoint_header(fingerprint, len(plan)))
+        return replay
 
-    def _load_checkpoint(
+    def _streaming_reconcile(
         self, plan: CrawlPlan, fingerprint: str
-    ) -> Dict[int, TaskOutcome]:
-        """Parse the checkpoint, refusing someone else's (mismatch)."""
-        try:
-            return self._parse_checkpoint(plan, fingerprint)
-        except CheckpointMismatch:
-            raise
-        except (ValueError, KeyError, TypeError) as error:
-            # Mid-file corruption, a malformed outcome line, an
-            # undecodable record — all land on the same refusal path
-            # the CLI already handles, instead of a raw traceback.
-            raise CheckpointMismatch(
-                f"{self.checkpoint_path}: corrupt checkpoint ({error}); "
-                "refusing to resume — rerun without resume to start over"
-            ) from error
+    ) -> CheckpointReplay:
+        path = self.checkpoint_path
 
-    def _parse_checkpoint(
-        self, plan: CrawlPlan, fingerprint: str
-    ) -> Dict[int, TaskOutcome]:
-        replayed: Dict[int, TaskOutcome] = {}
-        header_seen = False
-        for line_number, payload in iter_jsonl(self.checkpoint_path):
-            kind = payload.get("kind")
-            if not header_seen:
-                if kind != "header":
-                    raise CheckpointMismatch(
-                        f"{self.checkpoint_path}: not a crawl checkpoint "
-                        f"(first line is {kind!r})"
-                    )
-                found = payload.get("fingerprint")
-                if found != fingerprint:
-                    raise CheckpointMismatch(
-                        f"{self.checkpoint_path}: fingerprint {found} does "
-                        f"not match this plan/world/config ({fingerprint}); "
-                        "refusing to resume — rerun without resume to start "
-                        "over"
-                    )
-                header_seen = True
-                continue
-            if kind != "outcome":
-                continue
+        def on_header(header: Dict) -> None:
+            found = header.get("fingerprint")
+            if found != fingerprint:
+                raise CheckpointMismatch(
+                    f"{path}: fingerprint {found} does "
+                    f"not match this plan/world/config ({fingerprint}); "
+                    "refusing to resume — rerun without resume to start "
+                    "over"
+                )
+
+        def validate(line_number: int, payload: Dict) -> None:
             index = payload["index"]
             if not 0 <= index < len(plan.tasks):
                 raise CheckpointMismatch(
-                    f"{self.checkpoint_path}:{line_number}: outcome index "
+                    f"{path}:{line_number}: outcome index "
                     f"{index} outside the plan"
                 )
             record_payload = payload.get("record")
-            replayed[index] = TaskOutcome(
-                index=index,
-                task=plan.tasks[index],
-                record=(
-                    decode_record(record_payload)
-                    if record_payload is not None else None
-                ),
-                error=payload.get("error"),
-                attempts=payload.get("attempts", 1),
+            if record_payload is not None:
+                # Structural refusal (unknown type, missing body) keeps
+                # the corrupt-checkpoint error path without ever
+                # deserialising a record.
+                validate_record_payload(record_payload)
+
+        try:
+            scan = _scan_checkpoint(
+                path, validate=validate, on_header=on_header
             )
-        return replayed
+        except CheckpointMismatch:
+            raise
+        except (ValueError, KeyError, TypeError) as error:
+            # Mid-file corruption, a malformed outcome line, a bogus
+            # record payload — all land on the same refusal path the
+            # CLI already handles, instead of a raw traceback.
+            raise CheckpointMismatch(
+                f"{path}: corrupt checkpoint ({error}); "
+                "refusing to resume — rerun without resume to start over"
+            ) from error
+        replay = CheckpointReplay(completed=scan.indices)
+        spooled = self.merge == "spool" and self.spool_path is not None
+        resume_part = (
+            Path(f"{self.spool_path}.resume.part") if spooled else None
+        )
+        part_handle = None
+        tmp = path.with_name(path.name + ".reconcile")
+        try:
+            with tmp.open("w", encoding="utf-8") as handle:
+                handle.write(self._checkpoint_header(fingerprint, len(plan)))
+                for index, payload, line in _merge_checkpoint_runs(
+                    path, scan
+                ):
+                    handle.write(line + "\n")
+                    record_payload = payload.get("record")
+                    error = payload.get("error")
+                    if spooled:
+                        if error is not None:
+                            replay.failures.append(TaskOutcome(
+                                index=index,
+                                task=plan.tasks[index],
+                                record=None,
+                                error=error,
+                                attempts=payload.get("attempts", 1),
+                            ))
+                        if record_payload is not None:
+                            # The replay records never enter memory:
+                            # the original serialized lines stream to
+                            # the sorted part file the k-way join
+                            # consumes.
+                            if part_handle is None:
+                                part_handle = resume_part.open(
+                                    "w", encoding="utf-8"
+                                )
+                            part_handle.write(line + "\n")
+                    else:
+                        replay.outcomes.append(TaskOutcome(
+                            index=index,
+                            task=plan.tasks[index],
+                            record=(
+                                RawRecord.from_payload(record_payload)
+                                if record_payload is not None else None
+                            ),
+                            error=error,
+                            attempts=payload.get("attempts", 1),
+                        ))
+        finally:
+            if part_handle is not None:
+                part_handle.close()
+        tmp.replace(path)
+        if part_handle is not None:
+            replay.resume_part = resume_part
+        return replay
 
     @staticmethod
     def _outcome_line(outcome: TaskOutcome) -> str:
-        payload = {
+        head = {
             "kind": "outcome",
             "index": outcome.index,
             "attempts": outcome.attempts,
             "error": outcome.error,
-            "record": (
-                encode_record(outcome.record)
-                if outcome.record is not None else None
-            ),
         }
-        return json.dumps(payload, ensure_ascii=False) + "\n"
+        if outcome.record is None:
+            head["record"] = None
+            return json.dumps(head, ensure_ascii=False) + "\n"
+        # Splice the record's canonical serialized bytes into the
+        # outcome envelope instead of re-dumping a nested payload —
+        # byte-identical to the single json.dumps (same key order and
+        # separators), and for a RawRecord entirely decode-free.
+        raw = encode_record_line(outcome.record)
+        return (
+            json.dumps(head, ensure_ascii=False)[:-1]
+            + ', "record": ' + raw + "}\n"
+        )
 
     def _checkpoint_outcomes(self, outcomes: List[TaskOutcome]) -> None:
         """Append one finished shard's outcomes (caller holds the lock)."""
@@ -1317,49 +1599,36 @@ class CrawlEngine:
 
         Raises :class:`CheckpointMismatch` when *path* is not a crawl
         checkpoint (no header / mid-file corruption).
+
+        Shares the streaming run-merge machinery with the resume
+        reconcile: a boundary scan plus a k-way join over the sorted
+        runs, so compaction memory is one buffered line per run (plus
+        the index set), never the outcome payloads.
         """
         path = Path(path)
-        header: Optional[Dict] = None
-        latest: Dict[int, str] = {}
-        superseded = 0
         try:
-            for line_number, payload in iter_jsonl(path):
-                kind = payload.get("kind")
-                if header is None:
-                    if kind != "header":
-                        raise CheckpointMismatch(
-                            f"{path}: not a crawl checkpoint "
-                            f"(first line is {kind!r})"
-                        )
-                    header = payload
-                    continue
-                if kind != "outcome":
-                    continue
-                index = payload.get("index")
-                if not isinstance(index, int):
-                    raise CheckpointMismatch(
-                        f"{path}:{line_number}: outcome without an index"
-                    )
-                if index in latest:
-                    superseded += 1
-                latest[index] = json.dumps(payload, ensure_ascii=False)
+            scan = _scan_checkpoint(path)
+        except CheckpointMismatch:
+            raise
         except ValueError as error:
             raise CheckpointMismatch(
                 f"{path}: corrupt checkpoint ({error}); refusing to compact"
             ) from error
-        if header is None:
-            raise CheckpointMismatch(f"{path}: not a crawl checkpoint (empty)")
         tmp = path.with_name(path.name + ".compact")
+        kept = 0
         with tmp.open("w", encoding="utf-8") as handle:
-            handle.write(json.dumps(header, ensure_ascii=False) + "\n")
-            for index in sorted(latest):
-                handle.write(latest[index] + "\n")
+            # The header survives verbatim (same fingerprint, still
+            # resumable).
+            handle.write(scan.header_line + "\n")
+            for _, _, line in _merge_checkpoint_runs(path, scan):
+                handle.write(line + "\n")
+                kept += 1
         tmp.replace(path)
         return CheckpointCompaction(
             path=path,
-            kept=len(latest),
-            dropped=superseded,
-            fingerprint=str(header.get("fingerprint")),
+            kept=kept,
+            dropped=scan.outcome_lines - kept,
+            fingerprint=str(scan.header.get("fingerprint")),
         )
 
     # ------------------------------------------------------------------

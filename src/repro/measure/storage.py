@@ -10,6 +10,14 @@ here skip exactly that case with a :class:`TornRecordWarning` instead
 of raising — the crawl engine's resume path depends on it — while
 invalid JSON *followed by more records* is still hard corruption and
 raises.
+
+Zero-copy pass-through: a record that only travels (worker → parent →
+spool, or checkpoint → resume spool) never needs its typed object.
+:class:`RawRecord` wraps the canonical serialized line instead; it
+writes itself back byte-identically through :func:`save_records` and
+decodes lazily — only when a consumer actually inspects a field.
+:func:`record_decode_count` counts real :func:`decode_record` calls in
+this process, so tests can assert a transport path stayed zero-copy.
 """
 
 from __future__ import annotations
@@ -33,6 +41,12 @@ class TornRecordWarning(UserWarning):
     """A truncated trailing JSONL line (crashed writer) was skipped."""
 
 
+#: Real record deserialisations performed in this process — the
+#: observable half of the zero-copy contract (see
+#: :func:`record_decode_count`).
+_DECODE_CALLS = 0
+
+
 def encode_record(record) -> Dict[str, object]:
     """The JSONL payload for one record (``{"type", "data"}``)."""
     return {"type": type(record).__name__, "data": record.to_dict()}
@@ -40,11 +54,114 @@ def encode_record(record) -> Dict[str, object]:
 
 def decode_record(payload: Dict[str, object]):
     """Rebuild a record from its :func:`encode_record` payload."""
+    global _DECODE_CALLS
+    _DECODE_CALLS += 1
     type_name = payload.get("type")
     record_cls = _RECORD_TYPES.get(type_name)
     if record_cls is None:
         raise ValueError(f"unknown record type {type_name!r}")
     return record_cls.from_dict(payload["data"])
+
+
+def record_decode_count() -> int:
+    """How many :func:`decode_record` calls this process has made.
+
+    Pass-through paths (worker outcome absorption, spool writes,
+    checkpoint reconciliation) must not move this counter; tests pin
+    the zero-copy contract by snapshotting it around a transport leg.
+    """
+    return _DECODE_CALLS
+
+
+def validate_record_payload(payload) -> None:
+    """Structurally check an :func:`encode_record` payload *without*
+    building the record.
+
+    Raises :class:`ValueError` on an unknown type or a missing data
+    body — the same refusal a :func:`decode_record` would produce —
+    while leaving the (lazy, zero-copy) deserialisation for whoever
+    eventually inspects the record's fields.
+    """
+    if not isinstance(payload, dict):
+        raise ValueError(f"record payload is not an object: {payload!r}")
+    type_name = payload.get("type")
+    if type_name not in _RECORD_TYPES:
+        raise ValueError(f"unknown record type {type_name!r}")
+    if not isinstance(payload.get("data"), dict):
+        raise ValueError(f"record payload of type {type_name!r} has no data")
+
+
+def encode_record_line(record) -> str:
+    """The canonical serialized JSONL line for *record* (no newline).
+
+    This is the exact string :func:`save_records` writes; producing it
+    once at the source lets the record travel as opaque bytes
+    (:class:`RawRecord`) through every later hop.
+    """
+    if isinstance(record, RawRecord):
+        return record.raw
+    return json.dumps(encode_record(record), ensure_ascii=False)
+
+
+class RawRecord:
+    """A record still in its canonical serialized form (zero-copy).
+
+    Wraps the exact JSONL line :func:`save_records` would write, so
+    transport paths (process-worker absorption, checkpoint lines,
+    spool writes) move bytes instead of decode/encode round-trips.
+    The typed record is built lazily — :meth:`materialize` on first
+    field access — and cached; until then no :func:`decode_record`
+    happens.  Attribute reads and equality forward to the
+    materialised record, so a ``RawRecord`` substitutes for its record
+    anywhere fields are merely *inspected*.
+    """
+
+    __slots__ = ("raw", "_record")
+
+    def __init__(self, raw: str) -> None:
+        self.raw = raw
+        self._record = None
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, object]) -> "RawRecord":
+        """Wrap an already-parsed :func:`encode_record` payload.
+
+        Re-dumping a canonically produced payload is byte-identical to
+        the original line, so the wrapper stays write-through exact.
+        """
+        return cls(json.dumps(payload, ensure_ascii=False))
+
+    @classmethod
+    def from_record(cls, record) -> "RawRecord":
+        """Serialize a typed record once, up front."""
+        return cls(encode_record_line(record))
+
+    def materialize(self):
+        """The typed record (decoded on first call, then cached)."""
+        if self._record is None:
+            self._record = decode_record(json.loads(self.raw))
+        return self._record
+
+    def __getattr__(self, name):
+        # Field inspection is the moment the zero-copy contract allows
+        # a decode; everything before this is pure pass-through.
+        return getattr(self.materialize(), name)
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, RawRecord):
+            return self.materialize() == other.materialize()
+        return self.materialize() == other
+
+    def __repr__(self) -> str:
+        status = "decoded" if self._record is not None else "raw"
+        return f"RawRecord({status}, {len(self.raw)} bytes)"
+
+
+def materialize_record(record):
+    """*record* as its typed object (:class:`RawRecord`-transparent)."""
+    if isinstance(record, RawRecord):
+        return record.materialize()
+    return record
 
 
 def save_records(
@@ -54,16 +171,16 @@ def save_records(
 
     With ``append=True`` the records are appended to an existing file
     (creating it when missing) — the streaming mode the crawl engine
-    uses to spill each shard's output as it finishes.
+    uses to spill each shard's output as it finishes.  A
+    :class:`RawRecord` is written straight from its serialized bytes
+    (no decode), byte-identically to writing the typed record.
     """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     count = 0
     with path.open("a" if append else "w", encoding="utf-8") as handle:
         for record in records:
-            handle.write(
-                json.dumps(encode_record(record), ensure_ascii=False) + "\n"
-            )
+            handle.write(encode_record_line(record) + "\n")
             count += 1
     return count
 
@@ -159,10 +276,13 @@ def merge_record_spools(
     *parts* hold checkpoint-style ``{"kind": "outcome", "index", ...,
     "record"}`` lines sorted by plan index (one file per shard, plus
     the resume replay file).  The output is byte-identical to
-    :func:`save_records` over the same records in plan order — each
-    record is decoded and re-encoded through the canonical
-    :func:`encode_record` path, exactly like a checkpoint replay —
-    but only one payload per part is ever held in memory.
+    :func:`save_records` over the same records in plan order: the
+    embedded payloads were produced by the canonical
+    :func:`encode_record` dump, so re-serialising the parsed payload
+    reproduces those bytes exactly — no record is ever *decoded* on
+    this path (the zero-copy contract), the payload is only
+    structurally validated, and one payload per part is held in
+    memory.
     """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
@@ -176,9 +296,9 @@ def merge_record_spools(
             record_payload = payload.get("record")
             if record_payload is None:
                 continue
-            record = decode_record(record_payload)
+            validate_record_payload(record_payload)
             handle.write(
-                json.dumps(encode_record(record), ensure_ascii=False) + "\n"
+                json.dumps(record_payload, ensure_ascii=False) + "\n"
             )
             count += 1
     tmp.replace(path)

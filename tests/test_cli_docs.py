@@ -138,6 +138,29 @@ def test_spec_subcommand_mirrors_flags(name):
     ), f"'spec {name}' flag surface drifted from '{name}'"
 
 
+def test_readme_documents_streaming_analysis():
+    """The one-pass pipeline's documented contract must not drift:
+    the README section naming the memory model, the decode boundary,
+    and RawRecord semantics is what the zero-copy tests and the
+    bench floors enforce."""
+    text = README.read_text(encoding="utf-8")
+    match = re.search(
+        r"^## Streaming analysis\n(.*?)(?=^## )", text,
+        re.DOTALL | re.MULTILINE,
+    )
+    assert match, "README.md lost its '## Streaming analysis' section"
+    section = match.group(1)
+    for anchor in (
+        "RawRecord", "record_decode_count", "materialize_record",
+        "streaming=True", "BENCH_streaming.json", "--flat-scales",
+        "check_streaming_analysis.py",
+    ):
+        assert anchor in section, (
+            f"README 'Streaming analysis' section no longer mentions "
+            f"{anchor}"
+        )
+
+
 def test_readme_documents_spec_and_checkpoint():
     subsections = readme_subsections()
     assert "spec" in subsections, "README lacks a '### `spec`' subsection"

@@ -904,3 +904,125 @@ class TestCheckpointCompaction:
         empty.write_text("")
         with pytest.raises(CheckpointMismatch, match="not a crawl checkpoint"):
             CrawlEngine.compact_checkpoint(empty)
+
+
+class TestStreamingReconcileMachinery:
+    """The run-scan + k-way merge the resume and compaction share."""
+
+    @staticmethod
+    def _outcome(index, attempts=1):
+        return (
+            '{"kind": "outcome", "index": %d, "attempts": %d, '
+            '"error": null, "record": null}' % (index, attempts)
+        )
+
+    def _checkpoint(self, tmp_path, lines):
+        path = tmp_path / "machinery.checkpoint"
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        return path
+
+    def test_scan_finds_sorted_runs_and_index_set(self, tmp_path):
+        from repro.measure.engine import _scan_checkpoint
+
+        path = self._checkpoint(tmp_path, [
+            '{"kind": "header", "version": 1, "fingerprint": "f"}',
+            self._outcome(0),
+            self._outcome(3),
+            self._outcome(1),   # index <= prev: a new run starts here
+            self._outcome(3, attempts=2),
+            self._outcome(5),
+        ])
+        scan = _scan_checkpoint(path)
+        assert len(scan.runs) == 2
+        assert scan.indices == {0, 1, 3, 5}
+        assert scan.outcome_lines == 5
+        assert scan.header["fingerprint"] == "f"
+
+    def test_merge_is_plan_ordered_and_latest_wins(self, tmp_path):
+        from repro.measure.engine import (
+            _merge_checkpoint_runs,
+            _scan_checkpoint,
+        )
+
+        path = self._checkpoint(tmp_path, [
+            '{"kind": "header", "version": 1, "fingerprint": "f"}',
+            self._outcome(0),
+            self._outcome(3),
+            self._outcome(1),
+            self._outcome(3, attempts=2),
+            self._outcome(5),
+        ])
+        merged = list(_merge_checkpoint_runs(path, _scan_checkpoint(path)))
+        assert [index for index, _, _ in merged] == [0, 1, 3, 5]
+        payloads = {index: payload for index, payload, _ in merged}
+        # The later run's outcome supersedes the earlier duplicate.
+        assert payloads[3]["attempts"] == 2
+
+    def test_scan_excludes_torn_trailing_line(self, tmp_path):
+        from repro.measure.engine import (
+            _merge_checkpoint_runs,
+            _scan_checkpoint,
+        )
+        from repro.measure.storage import TornRecordWarning
+
+        path = self._checkpoint(tmp_path, [
+            '{"kind": "header", "version": 1, "fingerprint": "f"}',
+            self._outcome(0),
+            self._outcome(2),
+            '{"kind": "outcome", "index": 4, "att',  # torn final write
+        ])
+        with pytest.warns(TornRecordWarning, match="torn trailing line"):
+            scan = _scan_checkpoint(path)
+        assert scan.indices == {0, 2}
+        merged = list(_merge_checkpoint_runs(path, scan))
+        assert [index for index, _, _ in merged] == [0, 2]
+
+    def test_scan_rejects_mid_file_garbage(self, tmp_path):
+        from repro.measure.engine import _scan_checkpoint
+
+        path = self._checkpoint(tmp_path, [
+            '{"kind": "header", "version": 1, "fingerprint": "f"}',
+            "{not json",
+            self._outcome(1),
+        ])
+        with pytest.raises(ValueError, match="invalid JSON mid-file"):
+            _scan_checkpoint(path)
+
+    def test_spool_resume_streams_replay_without_holding_outcomes(
+        self, tmp_path, medium_world, medium_crawler
+    ):
+        """The resume path's memory contract: under the spool merge the
+        reconcile returns only the completed index set — the replayed
+        records stream through the sorted part file."""
+        targets = medium_world.crawl_targets[:40]
+        plan = medium_crawler.plan_detection_crawl(["DE"], targets)
+        out = tmp_path / "streamed.jsonl"
+        checkpoint = tmp_path / "streamed.jsonl.checkpoint"
+        engine = CrawlEngine(
+            medium_crawler, workers=4, shards=8, merge="spool",
+            spool_path=out, checkpoint_path=checkpoint,
+            executor=FaultInjectingExecutor(4, (1, 4), partial=True),
+        )
+        with pytest.raises(RuntimeError, match="injected crash"):
+            engine.execute(plan)
+
+        resumer = CrawlEngine(
+            medium_crawler, workers=4, shards=8, merge="spool",
+            spool_path=out, checkpoint_path=checkpoint, resume=True,
+        )
+        replay = resumer._reconcile_checkpoint(plan)
+        assert replay.count > 0
+        assert replay.outcomes == []          # never materialised
+        assert replay.resume_part is not None  # streamed to disk instead
+        replay_lines = replay.resume_part.read_text().splitlines()
+        assert len(replay_lines) == replay.count
+        # The rewritten checkpoint is canonical: header + plan-ordered
+        # unique outcomes, ready for the next append or resume.
+        import json as _json
+
+        indices = [
+            _json.loads(line)["index"]
+            for line in checkpoint.read_text().splitlines()[1:]
+        ]
+        assert indices == sorted(indices)
+        assert len(indices) == len(set(indices)) == replay.count

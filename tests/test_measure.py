@@ -296,3 +296,79 @@ class TestStorage:
         )
         with pytest.raises(ValueError, match="invalid JSON mid-file"):
             load_records(path)
+
+
+class TestMergedJsonl:
+    """Edge cases of the k-way spool join (`iter_merged_jsonl` /
+    `merge_record_spools`): the exact shapes a crashed or tiny crawl
+    leaves behind."""
+
+    @staticmethod
+    def _part(tmp_path, name, records_by_index):
+        from repro.measure.storage import encode_record_line
+
+        path = tmp_path / name
+        with path.open("w", encoding="utf-8") as handle:
+            for index, record in records_by_index:
+                handle.write(
+                    '{"kind": "outcome", "index": %d, "record": %s}\n'
+                    % (index, encode_record_line(record))
+                )
+        return path
+
+    @staticmethod
+    def _records(indices):
+        return [
+            (i, VisitRecord(vp="DE", domain=f"site{i}.de")) for i in indices
+        ]
+
+    def test_torn_trailing_line_in_one_part(self, tmp_path):
+        """A shard writer that died mid-append must not poison the
+        join: its complete lines merge, the torn tail is skipped with
+        the usual warning."""
+        from repro.measure import TornRecordWarning
+        from repro.measure.storage import merge_record_spools
+
+        whole = self._part(tmp_path, "a.part", self._records([0, 2, 4]))
+        torn = self._part(tmp_path, "b.part", self._records([1, 3]))
+        with torn.open("a", encoding="utf-8") as handle:
+            handle.write(torn.read_text(encoding="utf-8").splitlines()[0][:41])
+        out = tmp_path / "merged.jsonl"
+        with pytest.warns(TornRecordWarning, match="torn trailing line"):
+            count = merge_record_spools([whole, torn], out)
+        assert count == 5
+        assert [r.domain for r in load_records(out)] == [
+            f"site{i}.de" for i in range(5)
+        ]
+
+    def test_empty_part_files_are_harmless(self, tmp_path):
+        """A shard that crashed before its first flush leaves an empty
+        part; the merge must treat it as contributing nothing."""
+        from repro.measure.storage import merge_record_spools
+
+        full = self._part(tmp_path, "a.part", self._records([0, 1, 2]))
+        for name in ("empty1.part", "empty2.part"):
+            (tmp_path / name).write_text("", encoding="utf-8")
+        out = tmp_path / "merged.jsonl"
+        count = merge_record_spools(
+            [tmp_path / "empty1.part", full, tmp_path / "empty2.part"], out
+        )
+        assert count == 3
+        assert [r.domain for r in load_records(out)] == [
+            "site0.de", "site1.de", "site2.de",
+        ]
+
+    def test_single_shard_merge_is_byte_identical_passthrough(
+        self, tmp_path
+    ):
+        """shards=1 degenerates to a copy: the join of one part must
+        reproduce `save_records` over the same records byte for byte."""
+        from repro.measure.storage import merge_record_spools
+
+        records = [r for _, r in self._records(range(4))]
+        part = self._part(tmp_path, "only.part", self._records(range(4)))
+        out = tmp_path / "merged.jsonl"
+        oracle = tmp_path / "oracle.jsonl"
+        assert merge_record_spools([part], out) == 4
+        save_records(records, oracle)
+        assert out.read_bytes() == oracle.read_bytes()

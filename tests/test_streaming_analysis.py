@@ -1,0 +1,282 @@
+"""Differential tests: streaming aggregators vs the list-based oracles.
+
+The streaming analysis layer claims byte-identical outputs to the
+materialised computations.  These tests hold it to that claim at
+every level: the raw aggregators against the ``stats`` oracle
+functions, the figure/table/report objects against the ``compute_*``
+oracles, and the full experiment + papercheck pipeline between
+``streaming=True`` and ``streaming=False`` contexts.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.analysis.figures import compute_fig4
+from repro.analysis.papercheck import compare_with_paper
+from repro.analysis.stats import (
+    OnlineStats,
+    StreamingECDF,
+    TopK,
+    ecdf,
+    ecdf_at,
+    mean,
+    median,
+    quantile,
+)
+from repro.analysis.streaming import (
+    StreamingCookieComparison,
+    StreamingCrawlAnalysis,
+)
+from repro.errors import AnalysisError
+from repro.experiments import EXPERIMENTS, ExperimentContext, run_experiment
+from repro.measure.records import CookieMeasurement
+
+
+# ---------------------------------------------------------------------------
+# Aggregator units vs the stats oracles
+# ---------------------------------------------------------------------------
+
+def _value_streams():
+    rng = random.Random(42)
+    return [
+        [1.0],
+        [3.0, 1.0, 2.0],
+        [5.0, 5.0, 5.0, 5.0],
+        [rng.uniform(0, 100) for _ in range(257)],
+        [float(rng.randint(0, 9)) for _ in range(100)],
+    ]
+
+
+def test_online_stats_matches_two_pass():
+    for values in _value_streams():
+        stats = OnlineStats().extend(values)
+        assert stats.count == len(values)
+        assert stats.min == min(values)
+        assert stats.max == max(values)
+        assert stats.mean == pytest.approx(mean(values), abs=1e-12)
+        two_pass = sum((v - mean(values)) ** 2 for v in values) / len(values)
+        assert stats.variance == pytest.approx(two_pass, abs=1e-9)
+
+
+def test_online_stats_merge_matches_single_stream():
+    values = [random.Random(7).uniform(-5, 5) for _ in range(100)]
+    left = OnlineStats().extend(values[:37])
+    right = OnlineStats().extend(values[37:])
+    merged = left.merge(right)
+    single = OnlineStats().extend(values)
+    assert merged.count == single.count
+    assert merged.mean == pytest.approx(single.mean, abs=1e-12)
+    assert merged.variance == pytest.approx(single.variance, abs=1e-9)
+    assert merged.min == single.min and merged.max == single.max
+
+
+def test_online_stats_empty_raises():
+    with pytest.raises(AnalysisError):
+        _ = OnlineStats().variance
+
+
+def test_streaming_ecdf_exact_regime_byte_identical():
+    """Under the point budget every query equals the list oracle exactly."""
+    for values in _value_streams():
+        sketch = StreamingECDF().extend(values)
+        assert sketch.exact
+        assert sketch.count == len(values)
+        assert sketch.median() == median(values)
+        for q in (0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0):
+            assert sketch.quantile(q) == quantile(values, q)
+        for threshold in (min(values), max(values), 2.0, 50.0):
+            assert sketch.fraction_at_most(threshold) == ecdf_at(
+                values, threshold
+            )
+        assert sketch.ecdf() == ecdf(values)
+
+
+def test_streaming_ecdf_budget_collapse_is_bounded_and_flagged():
+    sketch = StreamingECDF(max_points=16)
+    for i in range(1000):
+        sketch.add(float(i))
+    assert not sketch.exact
+    assert len(sketch._counts) <= 16
+    assert sketch.count == 1000
+    # The sketch still answers sanely: quantiles are monotone and
+    # within the observed range.
+    qs = [sketch.quantile(q) for q in (0.1, 0.5, 0.9)]
+    assert qs == sorted(qs)
+    assert 0.0 <= qs[0] and qs[-1] <= 999.0
+
+
+def test_streaming_ecdf_merge():
+    values = [float(v) for v in random.Random(3).choices(range(20), k=200)]
+    left = StreamingECDF().extend(values[:80])
+    right = StreamingECDF().extend(values[80:])
+    merged = left.merge(right)
+    assert merged.median() == median(values)
+    assert merged.quantile(0.75) == quantile(values, 0.75)
+
+
+def test_streaming_ecdf_empty_raises():
+    with pytest.raises(AnalysisError):
+        StreamingECDF().median()
+    with pytest.raises(AnalysisError):
+        StreamingECDF().quantile(0.5)
+    with pytest.raises(AnalysisError):
+        StreamingECDF(max_points=1)
+
+
+def test_topk_matches_counter_semantics():
+    keys = random.Random(5).choices("abcdef", k=300)
+    top = TopK().extend(keys)
+    counts = {}
+    for key in keys:
+        counts[key] = counts.get(key, 0) + 1
+    assert top.counts == counts
+    assert top.total == 300
+    oracle_ranked = sorted(counts.items(), key=lambda item: -item[1])
+    assert top.ranked() == oracle_ranked
+    assert top.ranked(2) == oracle_ranked[:2]
+    assert top.mode() == max(counts, key=counts.get)
+
+
+def test_topk_mode_tie_is_first_seen():
+    top = TopK().extend(["x", "y", "y", "x"])
+    assert top.mode() == "x"  # first-seen wins a count tie, like max()
+
+
+# ---------------------------------------------------------------------------
+# Crawl-level differential: streaming pass vs materialised oracles
+# ---------------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def contexts():
+    """One streaming and one oracle context over identical worlds.
+
+    Two *separate* world builds with the same seed: cookie-count
+    jitter is keyed on world-held visit ids, so sharing one mutable
+    world across two measurement campaigns would make the second see
+    different (though equally deterministic) values.
+    """
+    from repro.webgen import build_world
+
+    streaming = ExperimentContext(build_world(scale=0.02, seed=7))
+    oracle = ExperimentContext(
+        build_world(scale=0.02, seed=7), streaming=False
+    )
+    assert streaming.streaming and not oracle.streaming
+    return streaming, oracle
+
+
+def test_streaming_crawl_analysis_matches_oracles(contexts):
+    streaming, oracle = contexts
+    analysis = streaming.detection_analysis()
+    crawl = oracle.detection_crawl()
+    assert analysis.record_count == len(crawl.records)
+    assert analysis.detected_wall_domains() == crawl.cookiewall_domains()
+    assert (
+        analysis.regular_banner_domains_de()
+        == crawl.regular_banner_domains("DE")
+    )
+    assert analysis.table1().render() == oracle.table1().render()
+    assert analysis.landscape().render() == oracle.landscape().render()
+    assert analysis.figure1().render() == oracle.figure1().render()
+    assert analysis.figure2().render() == oracle.figure2().render()
+    assert analysis.figure3().render() == oracle.figure3().render()
+
+
+def test_all_experiments_byte_identical_across_modes(contexts):
+    streaming, oracle = contexts
+    for experiment_id in sorted(EXPERIMENTS):
+        got = run_experiment(experiment_id, context=streaming)
+        want = run_experiment(experiment_id, context=oracle)
+        assert got.rendered == want.rendered, experiment_id
+        assert got.data == want.data, experiment_id
+
+
+def test_papercheck_byte_identical_across_modes(contexts):
+    streaming, oracle = contexts
+    ids = sorted(EXPERIMENTS)
+    got = compare_with_paper(
+        [run_experiment(e, context=streaming) for e in ids]
+    )
+    want = compare_with_paper(
+        [run_experiment(e, context=oracle) for e in ids]
+    )
+    assert got.render_markdown() == want.render_markdown()
+    assert got.render_text() == want.render_text()
+
+
+# ---------------------------------------------------------------------------
+# Cookie comparison differential (figures 4/5 machinery)
+# ---------------------------------------------------------------------------
+
+def _measurements(seed, n, label):
+    rng = random.Random(seed)
+    out = []
+    for i in range(n):
+        out.append(
+            CookieMeasurement(
+                vp="DE",
+                domain=f"{label}-{i}.example",
+                mode="accept",
+                repeats=5,
+                avg_first_party=round(rng.uniform(0, 12), 1),
+                avg_third_party=round(rng.uniform(0, 40), 1),
+                avg_tracking=round(rng.uniform(0, 80), 1),
+            )
+        )
+    return out
+
+
+def test_streaming_cookie_comparison_byte_identical():
+    group_a = _measurements(1, 41, "regular")
+    group_b = _measurements(2, 37, "wall")
+    oracle = compute_fig4(group_a, group_b)
+    streaming = (
+        StreamingCookieComparison.like(oracle)
+        .consume("a", iter(group_a))
+        .consume("b", iter(group_b))
+    )
+    assert streaming.group_size("a") == len(group_a)
+    assert streaming.medians("a") == oracle.medians("a")
+    assert streaming.medians("b") == oracle.medians("b")
+    for metric in ("first_party", "third_party", "tracking"):
+        assert streaming.ratio(metric) == oracle.ratio(metric)
+    assert streaming.max_tracking("a") == oracle.max_tracking("a")
+    assert streaming.max_tracking("b") == oracle.max_tracking("b")
+    assert streaming.render() == oracle.render()
+    assert streaming.render_distribution() == oracle.render_distribution()
+
+
+def test_streaming_cookie_comparison_one_empty_group():
+    group_a = _measurements(3, 11, "only")
+    oracle = compute_fig4(group_a, [])
+    streaming = StreamingCookieComparison.like(oracle).consume(
+        "a", iter(group_a)
+    )
+    assert streaming.max_tracking("b") == oracle.max_tracking("b") == 0.0
+    # An empty group has no medians: both paths refuse identically.
+    with pytest.raises(AnalysisError):
+        oracle.render()
+    with pytest.raises(AnalysisError):
+        streaming.render()
+
+
+def test_log_transform_is_sketched_not_derived():
+    """Interpolated quantiles do not commute with log10(v+1): the
+    streaming render must sketch transformed values, and agree with
+    the oracle even where log(quantile) != quantile(log)."""
+    group_a = [_measurements(9, 2, "a")[i] for i in range(2)]
+    group_a[0].avg_tracking = 1.0
+    group_a[1].avg_tracking = 99.0
+    oracle = compute_fig4(group_a, group_a[:1])
+    streaming = (
+        StreamingCookieComparison.like(oracle)
+        .consume("a", iter(group_a))
+        .consume("b", iter(group_a[:1]))
+    )
+    # the interpolated median of [log(2), log(100)] is not
+    # log(median([1, 99]) + 1)
+    interpolated = (math.log10(2.0) + math.log10(100.0)) / 2
+    assert interpolated != math.log10(50.0 + 1)
+    assert streaming.render_distribution() == oracle.render_distribution()
