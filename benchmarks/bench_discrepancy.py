@@ -1,0 +1,186 @@
+"""Benchmarks for the streaming geo-discrepancy report.
+
+Two gates, both written to ``benchmarks/output/BENCH_discrepancy.json``
+for the CI floor check:
+
+* **Report throughput** — records/sec through
+  :class:`~repro.analysis.discrepancy.StreamingDiscrepancyReport`,
+  floored so the report stays cheap enough to fold inline into a
+  multi-vantage campaign's record stream.
+* **Memory flatness vs vantage points** — the report keeps per-domain
+  cross-VP *reductions*, not per-VP values, so its allocation peak
+  must stay flat as vantage points are added.  ``tracemalloc`` peaks
+  of an 8-VP campaign stream versus a 2-VP one over the same domain
+  population; the records are generated lazily so the peak measures
+  report state, not the input list.
+"""
+
+import json
+import os
+import random
+import tracemalloc
+
+from conftest import OUTPUT_DIR, run_once, write_artifact
+
+from repro.analysis.discrepancy import StreamingDiscrepancyReport
+from repro.measure.records import VisitRecord
+from repro.vantage import VP_ORDER
+
+#: CI gate: the report must sustain at least this many records/sec
+#: (pure-Python dict aggregation plus price extraction on ~10% of
+#: records; local runs sustain well over 100k — the floor leaves
+#: ~10x for slow runners).
+_REPORT_FLOOR_RECORDS_PER_SEC = 15_000
+#: CI gate: the 8-VP allocation peak over the same domains must stay
+#: within this factor of the 2-VP peak (per-domain state is VP-count
+#: independent; only the small per-(wave, vp) counters grow).
+_VP_PEAK_RATIO_CEILING = 1.5
+
+_DOMAINS = 3_000
+_WAVES = (0, 3)
+
+
+def _campaign_records(domains: int, vps, waves, seed: int = 2023):
+    """Lazily generate a plausible campaign stream: ``(wave, record)``
+    pairs, ~10% accept-or-pay walls with price text, EU-heavier walls,
+    occasional TCF strings and third-party cookie sets."""
+    rng = random.Random(seed)
+    profiles = []
+    for index in range(domains):
+        profiles.append((
+            f"site{index:05d}.example",
+            rng.random() < 0.10,            # wall site
+            rng.random() < 0.25,            # banner site
+            rng.randrange(90, 990, 50),     # wall price, EUR cents
+            rng.random() < 0.3,             # tcf-bearing consent UI
+        ))
+    for wave in waves:
+        for domain, walled, banner, cents, tcf in profiles:
+            for vp_index, vp in enumerate(vps):
+                wall = walled and vp in ("DE", "SE")
+                flags = {}
+                if tcf and (wall or banner):
+                    flags["tcf_accept"] = f"CP{vp_index:03d}x{wave}"
+                if banner or wall:
+                    flags["cookies_third_party"] = [
+                        f"ads{k}.example" for k in range(vp_index % 3 + 1)
+                    ]
+                yield wave, VisitRecord(
+                    vp=vp,
+                    domain=domain,
+                    is_cookiewall=wall,
+                    banner_found=wall or banner,
+                    has_accept=wall or banner,
+                    banner_text=(
+                        f"Accept cookies or subscribe for "
+                        f"{cents / 100:.2f} € per month" if wall else ""
+                    ),
+                    flags=flags,
+                )
+
+
+def _update_payload(section: str, data: dict) -> None:
+    """Merge one section into BENCH_discrepancy.json (tests run in
+    file order under ``-x``; the CI gate reads the file after both)."""
+    out = OUTPUT_DIR / "BENCH_discrepancy.json"
+    OUTPUT_DIR.mkdir(parents=True, exist_ok=True)
+    payload = json.loads(out.read_text()) if out.exists() else {}
+    payload[section] = data
+    payload.setdefault("meta", {})["cpus"] = os.cpu_count() or 1
+    out.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+
+
+def _tracemalloc_peak_kb(fn) -> float:
+    """Peak Python allocation (KB) while *fn* runs."""
+    tracemalloc.start()
+    try:
+        fn()
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return peak / 1024.0
+
+
+def test_discrepancy_report_throughput(benchmark):
+    """Records/sec through the one-pass discrepancy aggregation."""
+    stream = list(_campaign_records(_DOMAINS, VP_ORDER, _WAVES))
+
+    def one_pass():
+        report = StreamingDiscrepancyReport()
+        for wave, record in stream:
+            report.add(record, wave=wave)
+        return report
+
+    report = run_once(benchmark, one_pass)
+    elapsed = benchmark.stats.stats.total
+    rate = len(stream) / elapsed if elapsed else 0.0
+    assert report.record_count == len(stream)
+    assert report.eu_delta()["delta"] > 0
+    assert report.discrepancies()["wall_partial"]["domains"] > 0
+
+    _update_payload("throughput", {
+        "records": len(stream),
+        "vps": len(VP_ORDER),
+        "waves": len(_WAVES),
+        "seconds": round(elapsed, 4),
+        "records_per_sec": round(rate, 1),
+        "floor_records_per_sec": _REPORT_FLOOR_RECORDS_PER_SEC,
+    })
+    write_artifact(
+        "discrepancy_report_throughput",
+        f"discrepancy report: {len(stream)} records in {elapsed:.3f}s "
+        f"({rate:,.0f} records/sec; "
+        f"floor {_REPORT_FLOOR_RECORDS_PER_SEC:,})",
+    )
+    assert rate >= _REPORT_FLOOR_RECORDS_PER_SEC, (
+        f"discrepancy report fell to {rate:,.0f} records/sec "
+        f"(floor {_REPORT_FLOOR_RECORDS_PER_SEC:,})"
+    )
+
+
+def test_discrepancy_memory_flat_in_vantage_points(benchmark):
+    """Allocation peak: 8 vantage points vs 2, same domains.
+
+    Both streams are consumed lazily, so the peak is the report's own
+    state.  Per-domain aggregates dominate and are shared; quadrupling
+    the vantage points must not meaningfully move the peak.
+    """
+    def consume(vps):
+        report = StreamingDiscrepancyReport()
+        for wave, record in _campaign_records(_DOMAINS, vps, _WAVES):
+            report.add(record, wave=wave)
+        assert report.record_count == _DOMAINS * len(vps) * len(_WAVES)
+        return report
+
+    narrow_peak_kb = _tracemalloc_peak_kb(lambda: consume(("USE", "DE")))
+    wide_peak_kb = run_once(
+        benchmark, lambda: _tracemalloc_peak_kb(lambda: consume(VP_ORDER))
+    )
+    ratio = wide_peak_kb / narrow_peak_kb
+
+    _update_payload("memory", {
+        "domains": _DOMAINS,
+        "narrow_vps": 2,
+        "wide_vps": len(VP_ORDER),
+        "narrow_peak_kb": round(narrow_peak_kb, 1),
+        "wide_peak_kb": round(wide_peak_kb, 1),
+        "peak_ratio": round(ratio, 4),
+        "ratio_ceiling": _VP_PEAK_RATIO_CEILING,
+    })
+    write_artifact(
+        "discrepancy_memory_flatness",
+        f"discrepancy report peak over {_DOMAINS} domains x "
+        f"{len(_WAVES)} waves:\n"
+        f"2 VPs: {narrow_peak_kb:.0f} KB\n"
+        f"{len(VP_ORDER)} VPs: {wide_peak_kb:.0f} KB "
+        f"({ratio:.2f}x; ceiling {_VP_PEAK_RATIO_CEILING}x)",
+    )
+    assert ratio <= _VP_PEAK_RATIO_CEILING, (
+        f"discrepancy report peak grew {ratio:.2f}x from 2 to "
+        f"{len(VP_ORDER)} vantage points (ceiling "
+        f"{_VP_PEAK_RATIO_CEILING}x); per-VP state is leaking into "
+        "the per-domain aggregates"
+    )

@@ -19,6 +19,10 @@ from repro.analysis.stats import (
     pearson,
     quantile,
 )
+from repro.analysis.discrepancy import (
+    StreamingDiscrepancyReport,
+    build_discrepancy_report,
+)
 from repro.analysis.streaming import (
     StreamingCookieComparison,
     StreamingCrawlAnalysis,
@@ -36,4 +40,6 @@ __all__ = [
     "TopK",
     "StreamingCrawlAnalysis",
     "StreamingCookieComparison",
+    "StreamingDiscrepancyReport",
+    "build_discrepancy_report",
 ]

@@ -25,6 +25,7 @@ from repro.api.spec import (
     EngineSpec,
     LongitudinalSpec,
     MeasureSpec,
+    MultiVantageSpec,
     OutputSpec,
     RunSpec,
     SpecError,
@@ -38,6 +39,7 @@ __all__ = [
     "LongitudinalSpec",
     "MeasureSpec",
     "MEASURE_MODES",
+    "MultiVantageSpec",
     "MERGE_MODES",
     "OutputSpec",
     "RESULT_VERSION",

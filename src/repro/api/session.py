@@ -33,6 +33,7 @@ from repro.api.spec import (
     EngineSpec,
     LongitudinalSpec,
     MeasureSpec,
+    MultiVantageSpec,
     OutputSpec,
     RunSpec,
     SpecError,
@@ -44,8 +45,11 @@ from repro.measure.instrumentation import EventLog
 from repro.measure.longitudinal import (
     LongitudinalRun,
     LongitudinalWave,
+    MultiVantageRun,
+    MultiVantageWave,
     reload_completed_wave,
 )
+from repro.vantage import VP_ORDER, get_vantage_point
 from repro.webgen.evolve import evolve_world
 from repro.webgen.world import World, build_world
 
@@ -415,6 +419,142 @@ class Session:
             ]},
         )
 
+    def multivantage(
+        self,
+        spec: Optional[MultiVantageSpec] = None,
+        *,
+        output: Optional[OutputSpec] = None,
+        progress: Optional[ProgressHook] = None,
+    ) -> RunResult:
+        """One campaign, N vantage points: the VP × domain × wave
+        cross-product through the engine, folded into a streaming
+        geo-discrepancy report.
+
+        Every wave compiles the full ``len(vps) × len(targets)``
+        detection plan (vp-major, the ordinary multi-VP plan order),
+        so sharding, parallelism, retry, spooling, and
+        checkpoint/resume work exactly like single-VP runs — and the
+        scenario (regulation regime, relocations, geo-blocking) rides
+        in ``CrawlPlan.context``, which the checkpoint fingerprint
+        covers and the process workers receive verbatim.  Records
+        stream straight into a
+        :class:`~repro.analysis.StreamingDiscrepancyReport` (returned
+        as :attr:`RunResult.campaign`'s ``report``); with an
+        ``out_dir`` the campaign never materialises a wave's record
+        list in memory.
+        """
+        # Imported here, not at module top: the analysis layer is a
+        # consumer of the measurement stack, not a dependency of it.
+        from repro.analysis.discrepancy import StreamingDiscrepancyReport
+
+        spec = spec if spec is not None else MultiVantageSpec()
+        spec.validate()
+        output = output if output is not None else OutputSpec()
+        out_dir = Path(output.out_dir) if output.out_dir else None
+        if self.engine_spec.resume and out_dir is None:
+            raise SpecError(
+                "multivantage resume requires out_dir (the wave "
+                "checkpoints live next to the spools)"
+            )
+        scenario = spec.scenario()
+        base_world = self.world
+        vps = [
+            get_vantage_point(code).code
+            for code in (spec.vps if spec.vps is not None else VP_ORDER)
+        ]
+        targets = (
+            list(spec.domains) if spec.domains is not None
+            else list(base_world.crawl_targets)
+        )
+        report = StreamingDiscrepancyReport()
+        run = MultiVantageRun(vps=tuple(vps), regime=spec.regime, report=report)
+        materialise = out_dir is None
+        all_records = [] if materialise else None
+        spool_paths = []
+        failures = []
+        elapsed = 0.0
+        executed = 0
+        resumed = 0
+        record_count = 0
+        for month in spec.months:
+            if month == 0:
+                wave_world = base_world
+            else:
+                wave_world, _ = evolve_world(base_world, months=month)
+            crawler = Crawler(wave_world)
+            plan = crawler.plan_detection_crawl(vps, targets)
+            plan.context["multivantage"] = {
+                "wave": month,
+                "scenario": scenario.to_context(),
+            }
+            spool_path = checkpoint_path = None
+            if out_dir is not None:
+                spool_path = out_dir / f"wave-{month:02d}.jsonl"
+                spool_paths.append(spool_path)
+                if self.engine_spec.checkpoint:
+                    checkpoint_path = Path(f"{spool_path}.checkpoint")
+            if self.engine_spec.resume:
+                replayed = reload_completed_wave(
+                    spool_path, checkpoint_path, plan
+                )
+                if replayed is not None:
+                    for record in replayed:
+                        report.add(record, wave=month)
+                    run.waves.append(MultiVantageWave(
+                        months=month,
+                        visits=len(replayed),
+                        resumed=len(replayed),
+                    ))
+                    resumed += len(replayed)
+                    record_count += len(replayed)
+                    continue
+            result = self.execute(
+                plan,
+                spool_path=spool_path,
+                checkpoint_path=checkpoint_path,
+                crawler=crawler,
+                progress=progress,
+            )
+            visits = 0
+            for record in result.iter_records():
+                report.add(record, wave=month)
+                visits += 1
+                if materialise:
+                    all_records.append(record)
+            run.waves.append(MultiVantageWave(
+                months=month, visits=visits, resumed=result.resumed,
+            ))
+            failures.extend(
+                self._failure(o, wave=month) for o in result.failures
+            )
+            elapsed += result.elapsed
+            executed += result.executed
+            resumed += result.resumed
+            record_count += result.record_count
+        return RunResult(
+            self._spec("multivantage", {"multivantage": spec}, output),
+            records=all_records,
+            spool_paths=spool_paths,
+            failures=failures,
+            elapsed=elapsed,
+            executed=executed,
+            resumed=resumed,
+            record_count=record_count,
+            campaign=run,
+            extra={
+                "waves": [
+                    {
+                        "months": wave.months,
+                        "visits": wave.visits,
+                        "resumed": wave.resumed,
+                        "walls": report.wall_counts(wave.months),
+                    }
+                    for wave in run.waves
+                ],
+                "discrepancy": report.summary(),
+            },
+        )
+
     def run(self, spec: Optional[RunSpec] = None) -> RunResult:
         """Execute a full :class:`RunSpec` (kind-dispatched).
 
@@ -447,6 +587,8 @@ class Session:
             return self.crawl(spec.crawl, output=spec.output)
         if spec.kind == "measure":
             return self.measure(spec.measure, output=spec.output)
+        if spec.kind == "multivantage":
+            return self.multivantage(spec.multivantage, output=spec.output)
         return self.longitudinal(spec.longitudinal, output=spec.output)
 
     # ------------------------------------------------------------------

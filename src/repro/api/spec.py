@@ -12,8 +12,8 @@ a single typed, validating, serialisable tree:
 - :class:`EngineSpec` — how to execute (workers, shards, retry,
   checkpointing, resume).
 - :class:`CrawlSpec` / :class:`MeasureSpec` /
-  :class:`LongitudinalSpec` — what to measure (exactly one of them,
-  selected by ``RunSpec.kind``).
+  :class:`LongitudinalSpec` / :class:`MultiVantageSpec` — what to
+  measure (exactly one of them, selected by ``RunSpec.kind``).
 - :class:`OutputSpec` — where the records go (JSONL spool path, or a
   wave directory for longitudinal campaigns).
 
@@ -37,7 +37,11 @@ from typing import Dict, Mapping, Optional, Tuple, Union
 
 #: Campaign kinds a :class:`RunSpec` can describe, and the section
 #: holding each kind's workload settings.
-RUN_KINDS = ("crawl", "measure", "longitudinal")
+RUN_KINDS = ("crawl", "measure", "longitudinal", "multivantage")
+
+#: Kinds whose records land in a wave directory (``output.out_dir``)
+#: rather than a single spool file (``output.path``).
+_WAVE_KINDS = ("longitudinal", "multivantage")
 
 #: Cookie/uBlock measurement modes (`MeasureSpec.mode`).
 MEASURE_MODES = ("accept", "reject", "ublock")
@@ -231,12 +235,99 @@ class LongitudinalSpec:
 
 
 @dataclass(frozen=True)
+class MultiVantageSpec:
+    """One campaign, N vantage points: the VP × domain × wave
+    cross-product, compared by the streaming discrepancy report.
+
+    Waves reuse the longitudinal machinery (month offsets against
+    evolved world snapshots); the scenario knobs select a regulation
+    regime (:data:`repro.vantage.REGULATION_REGIMES`) and optional
+    VPN-like relocations / geo-blocking on top of it.
+    """
+
+    #: Vantage point codes; ``None`` crawls all eight.
+    vps: Optional[Tuple[str, ...]] = None
+    #: Wave offsets in months; 0 is the baseline snapshot.
+    months: Tuple[int, ...] = (0,)
+    #: Target domains; ``None`` crawls the world's reachable union.
+    domains: Optional[Tuple[str, ...]] = None
+    #: Named regulation regime (baseline / eu / non-eu / geo-blocked).
+    regime: str = "baseline"
+    #: Extra VPN-like relocations: logical VP code -> exit VP code.
+    relocate: Optional[Mapping[str, str]] = None
+    #: First wave (month offset) the relocations apply from.
+    relocate_month: int = 0
+
+    def validate(self) -> None:
+        from repro.vantage import REGULATION_REGIMES, get_vantage_point
+
+        if self.vps is not None and not self.vps:
+            raise SpecError(
+                "multivantage.vps must name at least one vantage point"
+            )
+        months = list(self.months)
+        if not months:
+            raise SpecError("multivantage.months must name at least one wave")
+        if sorted(months) != months or len(set(months)) != len(months):
+            raise SpecError("months must be strictly increasing")
+        if months[0] < 0:
+            raise SpecError("months must be >= 0")
+        if str(self.regime).lower() not in REGULATION_REGIMES:
+            raise SpecError(
+                "multivantage.regime must be one of "
+                f"{', '.join(REGULATION_REGIMES)}, got {self.regime!r}"
+            )
+        if self.relocate_month < 0:
+            raise SpecError(
+                "multivantage.relocate_month must be >= 0, "
+                f"got {self.relocate_month}"
+            )
+        try:
+            for code in self.vps or ():
+                get_vantage_point(code)
+            self.scenario()
+        except KeyError as error:
+            raise SpecError(f"multivantage: {error.args[0]}") from None
+
+    def scenario(self):
+        """The composed :class:`~repro.vantage.RegulationScenario`."""
+        from repro.vantage import build_scenario
+
+        return build_scenario(
+            self.regime,
+            relocations=self.relocate,
+            relocate_from_month=self.relocate_month,
+        )
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "MultiVantageSpec":
+        _check_fields(cls, data, "multivantage")
+        out = dict(data)
+        out["vps"] = _tuple_or_none(data.get("vps"))
+        if out.get("months") is None:
+            out.pop("months", None)    # explicit null keeps the default
+        else:
+            out["months"] = _tuple_or_none(out["months"])
+        out["domains"] = _tuple_or_none(data.get("domains"))
+        relocate = data.get("relocate")
+        if relocate is not None:
+            if not isinstance(relocate, Mapping):
+                raise SpecError(
+                    "multivantage.relocate must be a table/mapping of "
+                    "VP code -> exit VP code"
+                )
+            out["relocate"] = dict(relocate)
+        return cls(**out)
+
+
+@dataclass(frozen=True)
 class OutputSpec:
     """Where records go (all optional: no path means in-memory only)."""
 
     #: JSONL spool for ``crawl``/``measure`` records.
     path: Optional[str] = None
-    #: Wave directory for ``longitudinal`` (``wave-<MM>.jsonl`` files).
+    #: Wave directory for ``longitudinal``/``multivantage``
+    #: (``wave-<MM>.jsonl`` files).
     out_dir: Optional[str] = None
 
     def validate(self) -> None:
@@ -255,6 +346,7 @@ _SECTIONS = {
     "crawl": CrawlSpec,
     "measure": MeasureSpec,
     "longitudinal": LongitudinalSpec,
+    "multivantage": MultiVantageSpec,
     "output": OutputSpec,
 }
 
@@ -275,6 +367,7 @@ class RunSpec:
     crawl: CrawlSpec = field(default_factory=CrawlSpec)
     measure: MeasureSpec = field(default_factory=MeasureSpec)
     longitudinal: LongitudinalSpec = field(default_factory=LongitudinalSpec)
+    multivantage: MultiVantageSpec = field(default_factory=MultiVantageSpec)
     output: OutputSpec = field(default_factory=OutputSpec)
 
     # ------------------------------------------------------------------
@@ -292,13 +385,13 @@ class RunSpec:
             # The messages name the CLI flags: the output section's
             # fields map 1:1 onto them, and the CLI surfaces these
             # errors verbatim.
-            if self.kind == "longitudinal" and self.output.out_dir is None:
+            if self.kind in _WAVE_KINDS and self.output.out_dir is None:
                 raise SpecError(
-                    "longitudinal --resume requires --out-dir "
+                    f"{self.kind} --resume requires --out-dir "
                     "(output.out_dir: the checkpoints live next to the "
                     "wave spools)"
                 )
-            if self.kind != "longitudinal" and self.output.path is None:
+            if self.kind not in _WAVE_KINDS and self.output.path is None:
                 raise SpecError(
                     "--resume requires an output path (--out / "
                     "output.path: the checkpoint lives next to the spool)"
@@ -306,13 +399,13 @@ class RunSpec:
         if self.engine.merge == "spool":
             # The streaming merge joins per-shard spools into a final
             # file — without one there is nothing to stream to.
-            if self.kind == "longitudinal" and self.output.out_dir is None:
+            if self.kind in _WAVE_KINDS and self.output.out_dir is None:
                 raise SpecError(
-                    "longitudinal --merge spool requires --out-dir "
+                    f"{self.kind} --merge spool requires --out-dir "
                     "(output.out_dir: the per-shard spools live next to "
                     "the wave files)"
                 )
-            if self.kind != "longitudinal" and self.output.path is None:
+            if self.kind not in _WAVE_KINDS and self.output.path is None:
                 raise SpecError(
                     "--merge spool requires an output path (--out / "
                     "output.path: shard spools are joined into it)"
@@ -352,7 +445,7 @@ class RunSpec:
             )
         resolved_kind = file_kind or kind
         if resolved_kind is None:
-            raise SpecError("run spec needs a 'kind' (crawl/measure/longitudinal)")
+            raise SpecError(f"run spec needs a 'kind' ({'/'.join(RUN_KINDS)})")
         unknown = sorted(set(data) - set(_SECTIONS) - {"kind"})
         if unknown:
             raise SpecError(

@@ -1,7 +1,8 @@
 """Command-line interface: ``repro-cookiewalls``.
 
 The engine-backed subcommands (``crawl``, ``measure``,
-``longitudinal``) are thin adapters over :mod:`repro.api`: argv is
+``longitudinal``, ``multivantage``) are thin adapters over
+:mod:`repro.api`: argv is
 compiled into a :class:`~repro.api.RunSpec` (optionally seeded from a
 ``--config`` TOML/JSON file, with explicitly given flags overriding
 file values) and executed through a :class:`~repro.api.Session` — the
@@ -39,7 +40,7 @@ from repro.experiments import EXPERIMENTS, ExperimentContext, run_experiment
 from repro.webgen import build_world
 
 #: Subcommands that compile argv into a RunSpec.
-_SPEC_COMMANDS = ("crawl", "measure", "longitudinal")
+_SPEC_COMMANDS = ("crawl", "measure", "longitudinal", "multivantage")
 
 
 def _positive_int(value: str) -> int:
@@ -161,10 +162,55 @@ def _add_longitudinal_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_multivantage_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--vps", action="append", default=argparse.SUPPRESS,
+        help="vantage point code (repeatable, case-insensitive; "
+             "default: all eight)",
+    )
+    parser.add_argument(
+        "--month", action="append", type=int, default=argparse.SUPPRESS,
+        dest="months",
+        help="wave offset in months, repeatable and increasing; 0 is the "
+             "baseline snapshot (default: just 0, a single wave)",
+    )
+    parser.add_argument(
+        "--domain", action="append", default=argparse.SUPPRESS,
+        help="target domain (repeatable; default: the world's reachable "
+             "union)",
+    )
+    parser.add_argument(
+        "--regime", choices=("baseline", "eu", "non-eu", "geo-blocked"),
+        default=argparse.SUPPRESS,
+        help="regulation regime: baseline browses from home; eu routes "
+             "every VP through a German exit; non-eu routes the EU VPs "
+             "through a US exit; geo-blocked has wall sites refuse "
+             "GDPR-region visitors",
+    )
+    parser.add_argument(
+        "--relocate", action="append", default=argparse.SUPPRESS,
+        metavar="VP=EXIT",
+        help="VPN-like relocation: traffic of VP exits at EXIT "
+             "(repeatable; applied on top of the regime)",
+    )
+    parser.add_argument(
+        "--relocate-month", type=int, default=argparse.SUPPRESS,
+        help="first wave (month offset) the relocations apply from "
+             "(default 0: all waves; later values change subsequent "
+             "waves only)",
+    )
+    parser.add_argument(
+        "--out-dir", default=argparse.SUPPRESS,
+        help="spool each wave to <dir>/wave-<MM>.jsonl with a resumable "
+             "checkpoint alongside",
+    )
+
+
 _WORKLOAD_ARGS = {
     "crawl": _add_crawl_args,
     "measure": _add_measure_args,
     "longitudinal": _add_longitudinal_args,
+    "multivantage": _add_multivantage_args,
 }
 
 
@@ -217,6 +263,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_spec_surface(longitudinal, "longitudinal")
 
+    multivantage = sub.add_parser(
+        "multivantage",
+        help="one campaign, N vantage points: crawl the VP x domain x "
+             "wave cross-product under a regulation regime and report "
+             "the geo-discrepancies",
+    )
+    _add_spec_surface(multivantage, "multivantage")
+
     spec = sub.add_parser(
         "spec",
         help="resolve a run spec (config file + flags) and print it "
@@ -243,9 +297,21 @@ def build_parser() -> argparse.ArgumentParser:
     compact.add_argument("path", help="checkpoint file (<out>.checkpoint)")
 
     report = sub.add_parser(
-        "report", help="summarise saved crawl records (walls per VP)"
+        "report", help="summarise saved crawl records (walls per VP, or "
+                       "the multi-vantage geo-discrepancy report)"
     )
-    report.add_argument("records", help="JSONL produced by 'crawl'")
+    report.add_argument(
+        "records", nargs="+",
+        help="JSONL file(s) produced by 'crawl' or 'multivantage', or a "
+             "campaign --out-dir (expanded to its wave-<MM>.jsonl "
+             "spools; the names carry their wave offset)",
+    )
+    report.add_argument(
+        "--product", choices=("walls", "discrepancy"), default="walls",
+        help="walls: banner/cookiewall counts per VP (default); "
+             "discrepancy: the streaming per-domain geo-discrepancy "
+             "report across VPs and waves",
+    )
 
     export = sub.add_parser(
         "export-toplists", help="write the country toplists as CrUX-style CSV"
@@ -282,7 +348,7 @@ def _compile_spec(kind: str, args: argparse.Namespace):
     given flags.  SUPPRESS defaults make "explicitly given" knowable —
     an absent attribute means the flag was omitted.
     """
-    from repro.api import RunSpec
+    from repro.api import RunSpec, SpecError
 
     config = getattr(args, "config", None)
     base = RunSpec.load(config, kind=kind) if config else RunSpec(kind=kind)
@@ -318,11 +384,34 @@ def _compile_spec(kind: str, args: argparse.Namespace):
             overrides["measure"]["domains"] = tuple(args.domain)
         if given("out"):
             overrides["output"]["path"] = args.out
-    else:
+    elif kind == "longitudinal":
         if given("vp"):
             overrides["longitudinal"]["vp"] = args.vp
         if given("months"):
             overrides["longitudinal"]["months"] = tuple(args.months)
+        if given("out_dir"):
+            overrides["output"]["out_dir"] = args.out_dir
+    else:
+        if given("vps"):
+            overrides["multivantage"]["vps"] = tuple(args.vps)
+        if given("months"):
+            overrides["multivantage"]["months"] = tuple(args.months)
+        if given("domain"):
+            overrides["multivantage"]["domains"] = tuple(args.domain)
+        if given("regime"):
+            overrides["multivantage"]["regime"] = args.regime
+        if given("relocate"):
+            relocations = {}
+            for pair in args.relocate:
+                home, separator, exit_code = pair.partition("=")
+                if not separator or not home or not exit_code:
+                    raise SpecError(
+                        f"--relocate takes VP=EXIT pairs, got {pair!r}"
+                    )
+                relocations[home] = exit_code
+            overrides["multivantage"]["relocate"] = relocations
+        if given("relocate_month"):
+            overrides["multivantage"]["relocate_month"] = args.relocate_month
         if given("out_dir"):
             overrides["output"]["out_dir"] = args.out_dir
     return base.override(overrides)
@@ -413,23 +502,60 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if args.command == "report":
+        import re
         from collections import Counter
+        from pathlib import Path
 
-        from repro.measure import load_records
-        from repro.measure.records import VisitRecord
+        from repro.measure.storage import iter_records
 
-        records = [
-            r for r in load_records(args.records)
-            if isinstance(r, VisitRecord)
-        ]
-        per_vp = Counter(r.vp for r in records if r.is_cookiewall)
-        banners = Counter(r.vp for r in records if r.banner_found)
-        print(f"records: {len(records)}")
-        for vp in sorted({r.vp for r in records}):
+        # A campaign --out-dir may be passed directly; expand it to its
+        # wave spools (sorted, so wave offsets parse in order).
+        record_paths: List[str] = []
+        for entry in args.records:
+            if Path(entry).is_dir():
+                spools = sorted(Path(entry).glob("wave-*.jsonl"))
+                if not spools:
+                    print(f"no wave-*.jsonl spools under {entry}",
+                          file=sys.stderr)
+                    return 2
+                record_paths.extend(str(spool) for spool in spools)
+            else:
+                record_paths.append(entry)
+
+        if args.product == "discrepancy":
+            from repro.analysis import StreamingDiscrepancyReport
+
+            report = StreamingDiscrepancyReport()
+            for position, path in enumerate(record_paths):
+                # wave-<MM>.jsonl spools carry their wave offset in the
+                # name; anything else is attributed by argument order.
+                match = re.search(r"wave-(\d+)", Path(path).name)
+                wave = int(match.group(1)) if match else position
+                report.consume(iter_records(path), wave=wave)
+            print(report.render())
+            return 0
+
+        count = 0
+        vps = set()
+        per_vp = Counter()
+        banners = Counter()
+        wall_domains = set()
+        for path in record_paths:
+            for record in iter_records(path):
+                if getattr(record, "is_cookiewall", None) is None:
+                    continue
+                count += 1
+                vps.add(record.vp)
+                if record.is_cookiewall:
+                    per_vp[record.vp] += 1
+                    wall_domains.add(record.domain)
+                if record.banner_found:
+                    banners[record.vp] += 1
+        print(f"records: {count}")
+        for vp in sorted(vps):
             print(f"  {vp}: {banners.get(vp, 0)} banners, "
                   f"{per_vp.get(vp, 0)} cookiewalls")
-        unique_walls = len({r.domain for r in records if r.is_cookiewall})
-        print(f"unique cookiewall domains: {unique_walls}")
+        print(f"unique cookiewall domains: {len(wall_domains)}")
         return 0
 
     if args.command == "export-toplists":

@@ -7,6 +7,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 from repro.adblock import UBlockOrigin
 from repro.bannerclick import BannerClick, accept_banner, reject_banner
+from repro.consent.tcf import accept_all_string
 from repro.errors import MeasurementError, NavigationError, NetworkError
 from repro.httpkit import CookieJar
 from repro.lang import LanguageDetector
@@ -16,6 +17,7 @@ from repro.measure.instrumentation import BatchedProgress
 from repro.measure.records import CookieMeasurement, UBlockRecord, VisitRecord
 from repro.smp import SMPPlatform
 from repro.vantage import VANTAGE_POINTS
+from repro.vantage.regulation import RegulationScenario
 from repro.webgen.world import World
 
 #: Legacy progress cadence of the serial crawler, kept for the wrappers.
@@ -85,11 +87,27 @@ class Crawler:
         extensions: Sequence = (),
         detect_language: bool = True,
         visit_ids=None,
+        scenario: Optional[RegulationScenario] = None,
+        wave: int = 0,
     ) -> VisitRecord:
-        """One detection visit with a fresh browser profile."""
+        """One detection visit with a fresh browser profile.
+
+        *scenario* applies multi-vantage campaign knobs: the record
+        keeps the logical *vp*, but the browser is located at the
+        scenario's exit vantage point for *wave*, and visits to wall
+        sites from a geo-blocked exit fail with ``error="GeoBlocked"``
+        before any request is made.
+        """
         record = VisitRecord(vp=vp, domain=domain)
+        exit_vp = vp
+        if scenario is not None:
+            exit_vp = scenario.exit_vp(vp, wave)
+            if scenario.blocks(exit_vp) and self._wall_site(domain):
+                record.reachable = False
+                record.error = "GeoBlocked"
+                return record
         browser = self.world.browser(
-            vp, extensions=extensions, visit_ids=visit_ids
+            exit_vp, extensions=extensions, visit_ids=visit_ids
         )
         try:
             page = browser.visit(domain)
@@ -109,11 +127,37 @@ class Crawler:
         record.flags = dict(page.flags)
         if page.scroll_locked:
             record.flags["scroll_locked"] = True
+        if exit_vp != vp:
+            record.flags["exit_vp"] = exit_vp
+        if detection.accept_element is not None:
+            cmp_id = detection.accept_element.get_attribute("data-cmp-id")
+            if cmp_id and str(cmp_id).isdigit():
+                record.flags["tcf_accept"] = accept_all_string(int(cmp_id))
+        if scenario is not None:
+            # Campaign-only enrichment: the jar's third-party site set
+            # depends on the visit id (sync-pixel partners are drawn
+            # per visit), so recording it on plain detection visits
+            # would break the engine's serial-vs-parallel record
+            # identity.  Campaign plans always run in the per-task id
+            # regime, where the set is reproducible.
+            site = page.site or domain
+            third_party = sorted({
+                cookie.site
+                for cookie in browser.jar.all_cookies()
+                if cookie.site and cookie.site != site
+            })
+            if third_party:
+                record.flags["cookies_third_party"] = third_party
         if detect_language and detection.is_cookiewall:
             record.detected_language = self._lang.detect(
                 page.visible_text()
             ).language
         return record
+
+    def _wall_site(self, domain: str) -> bool:
+        """True when *domain* is a ground-truth accept-or-pay wall site."""
+        spec = self.world.sites.get(domain)
+        return spec is not None and spec.wall is not None
 
     def crawl_vp(
         self,
@@ -267,6 +311,15 @@ class Crawler:
         engine supplies in parallel mode (see the engine docstring).
         """
         if task.mode == "detect":
+            campaign = (context or {}).get("multivantage")
+            if campaign:
+                return self.visit(
+                    task.vp, task.domain, visit_ids=visit_ids,
+                    scenario=RegulationScenario.from_context(
+                        campaign.get("scenario")
+                    ),
+                    wave=int(campaign.get("wave", 0)),
+                )
             return self.visit(task.vp, task.domain, visit_ids=visit_ids)
         if task.mode == "accept":
             return self.measure_accept_cookies(

@@ -205,6 +205,17 @@ def shard_of(domain: str, shards: int) -> int:
     return zlib.crc32(domain.encode("utf-8")) % shards
 
 
+def campaign_plan(plan: "CrawlPlan") -> bool:
+    """True for multi-vantage campaign plans (a scenario in context).
+
+    Campaign records carry visit-dependent enrichment (the jar's
+    third-party cookie sites), so campaign plans always run in the
+    per-task visit-id regime — like checkpointed runs — to keep the
+    output identical across backends and worker counts.
+    """
+    return bool(plan.context.get("multivantage"))
+
+
 class CheckpointMismatch(RuntimeError):
     """A checkpoint was produced by a different plan, world, or engine
     configuration; resuming it would silently mix two runs."""
@@ -1121,7 +1132,7 @@ class CrawlEngine:
             world_seed=getattr(config, "seed", None),
             world_scale=getattr(config, "scale", None),
             world_evolution=getattr(world, "evolution_months", 0),
-            per_task_ids=self.per_task_ids,
+            per_task_ids=self.per_task_ids or campaign_plan(plan),
         )
 
     def execute(self, plan: CrawlPlan) -> EngineResult:
@@ -1698,7 +1709,8 @@ class CrawlEngine:
         return outcomes
 
     def _run_one(self, plan: CrawlPlan, index: int, task: CrawlTask) -> TaskOutcome:
-        visit_ids = self._task_id_stream(task) if self.per_task_ids else None
+        per_task = self.per_task_ids or campaign_plan(plan)
+        visit_ids = self._task_id_stream(task) if per_task else None
         record, error, attempts = _execute_task(
             self.crawler, task, plan.context, self.retry, visit_ids,
             lambda attempt, err: self._emit_retry(index, task, attempt, err),

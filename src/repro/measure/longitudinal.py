@@ -159,6 +159,44 @@ class LongitudinalRun:
         return "\n".join(lines)
 
 
+@dataclass
+class MultiVantageWave:
+    """One wave of a multi-vantage campaign (all VPs, one snapshot)."""
+
+    months: int
+    visits: int = 0
+    #: Outcomes replayed (checkpoint or completed spool) not re-crawled.
+    resumed: int = 0
+
+
+@dataclass
+class MultiVantageRun:
+    """All waves of one multi-vantage campaign plus its report.
+
+    ``report`` is the streaming
+    :class:`~repro.analysis.StreamingDiscrepancyReport` the session fed
+    while the waves executed (duck-typed here so the measurement layer
+    does not import the analysis layer).
+    """
+
+    vps: tuple
+    regime: str
+    report: object
+    waves: List[MultiVantageWave] = field(default_factory=list)
+
+    def render(self) -> str:
+        lines = [
+            f"Multi-vantage campaign ({len(self.waves)} waves, "
+            f"{len(self.vps)} VPs, regime={self.regime})"
+        ]
+        for wave in self.waves:
+            note = f" ({wave.resumed} replayed)" if wave.resumed else ""
+            lines.append(f"  month {wave.months}: {wave.visits} visits{note}")
+        lines.append("")
+        lines.append(self.report.render())
+        return "\n".join(lines)
+
+
 def run_longitudinal(
     world: World,
     *,

@@ -6,7 +6,13 @@ from repro.vantage.points import (
     VantagePoint,
     get_vantage_point,
 )
-from repro.vantage.regulation import Regulation
+from repro.vantage.regulation import (
+    REGULATION_REGIMES,
+    Regulation,
+    RegulationScenario,
+    build_scenario,
+    regime_scenario,
+)
 
 __all__ = [
     "VantagePoint",
@@ -14,4 +20,8 @@ __all__ = [
     "VP_ORDER",
     "get_vantage_point",
     "Regulation",
+    "RegulationScenario",
+    "REGULATION_REGIMES",
+    "regime_scenario",
+    "build_scenario",
 ]

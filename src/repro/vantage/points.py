@@ -87,9 +87,16 @@ TOPLIST_COUNTRIES: Tuple[str, ...] = ("US", "BR", "DE", "SE", "ZA", "IN", "AU")
 
 
 def get_vantage_point(code: str) -> VantagePoint:
-    """Look up a vantage point by code, raising KeyError with context."""
-    try:
-        return VANTAGE_POINTS[code]
-    except KeyError:
+    """Look up a vantage point by code, case-insensitively.
+
+    ``"de"``, ``"De"`` and ``"DE"`` all resolve to Frankfurt.  Unknown
+    codes raise a :class:`KeyError` that names the known vantage
+    points instead of echoing the bad key bare.
+    """
+    point = VANTAGE_POINTS.get(code)
+    if point is None and isinstance(code, str):
+        point = VANTAGE_POINTS.get(code.upper())
+    if point is None:
         known = ", ".join(sorted(VANTAGE_POINTS))
-        raise KeyError(f"unknown vantage point {code!r}; known: {known}") from None
+        raise KeyError(f"unknown vantage point {code!r}; known: {known}")
+    return point

@@ -198,7 +198,9 @@ class SiteServer(OriginServer):
                 f'<script src="https://cdn.{spec.cmp}/loader.js'
                 f'?site={spec.domain}"></script>'
             )
-        variant = hash(spec.domain) % 4
+        # derive_seed, not hash(): the per-process hash salt would give
+        # spawned engine workers a different banner variant.
+        variant = derive_seed(0, "banner-variant", spec.domain) % 4
         return regular_banner_html(
             spec.language,
             consent_cookie=spec.consent_cookie,

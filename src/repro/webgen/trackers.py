@@ -144,7 +144,10 @@ class CMPServer(OriginServer):
                 {"op": "lock-scroll"},
             ]
         if spec.has_banner:
-            variant = hash(spec.domain) % 4
+            # derive_seed, not hash(): the per-process hash salt would
+            # hand spawned engine workers different banner variants and
+            # CMP ids (the id feeds campaign records' TCF strings).
+            variant = derive_seed(0, "banner-variant", spec.domain) % 4
             return [
                 {
                     "op": "append-html",
@@ -153,7 +156,9 @@ class CMPServer(OriginServer):
                         consent_cookie=spec.consent_cookie,
                         reject_button=spec.reject_button,
                         variant=variant,
-                        cmp_id=(hash(self.domain) % 90) + 10,
+                        cmp_id=(
+                            derive_seed(0, "cmp-id", self.domain) % 90
+                        ) + 10,
                     ),
                 }
             ]

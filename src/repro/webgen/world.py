@@ -22,7 +22,7 @@ from repro.httpkit import CookieJar
 from repro.netsim import Network
 from repro.rng import SeedSequence
 from repro.smp import SMPPlatform, SMPServer
-from repro.vantage import VANTAGE_POINTS
+from repro.vantage import VANTAGE_POINTS, get_vantage_point
 from repro.webgen.config import (
     COUNTRIES,
     COUNTRY_LANGUAGES,
@@ -86,7 +86,7 @@ class World:
         visit_ids: Optional[Callable[[], int]] = None,
     ) -> Browser:
         """A fresh measurement browser located at a vantage point."""
-        vp = VANTAGE_POINTS[vp_code]
+        vp = get_vantage_point(vp_code)
         return Browser(
             self.network, vp, jar=jar, extensions=extensions,
             instruments=instruments, stealth=stealth, visit_ids=visit_ids,

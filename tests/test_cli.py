@@ -157,6 +157,38 @@ class TestLongitudinal:
         assert "--resume requires --out-dir" in capsys.readouterr().err
 
 
+class TestMultiVantageReport:
+    def test_campaign_dir_expands_to_wave_spools(self, tmp_path, capsys):
+        """``report`` accepts a campaign --out-dir directly and reads
+        the same wave spools the explicit file list would."""
+        out_dir = tmp_path / "campaign"
+        assert main(
+            ["multivantage", "--scale", "0.01", "--seed", "3",
+             "--vps", "USE", "--vps", "DE", "--month", "0", "--month", "2",
+             "--out-dir", str(out_dir)]
+        ) == 0
+        capsys.readouterr()
+
+        waves = [str(out_dir / f"wave-{m:02d}.jsonl") for m in (0, 2)]
+        assert main(["report", "--product", "discrepancy", *waves]) == 0
+        from_files = capsys.readouterr().out
+        assert main(
+            ["report", "--product", "discrepancy", str(out_dir)]
+        ) == 0
+        assert capsys.readouterr().out == from_files
+        assert "per-domain discrepancies" in from_files
+
+        # The walls product expands the directory the same way.
+        assert main(["report", str(out_dir)]) == 0
+        assert "unique cookiewall domains:" in capsys.readouterr().out
+
+    def test_empty_dir_is_an_error(self, tmp_path, capsys):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        assert main(["report", str(empty)]) == 2
+        assert "no wave-*.jsonl spools" in capsys.readouterr().err
+
+
 class TestMeasure:
     def test_measure_streams_records(self, tmp_path, capsys):
         from repro.measure import iter_records

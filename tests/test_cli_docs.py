@@ -1,12 +1,13 @@
 """Guard: the CLI's --help output and README stay in sync.
 
 The engine-backed subcommands (``crawl``, ``measure``,
-``longitudinal``) are the operational surface of the project; a flag
-added to the parser but not the README — or documented but removed —
-is exactly the drift CI should catch.  The parser is the source of
-truth: every option it defines must appear in the README's CLI
-section, and every ``--flag`` the README mentions there must exist in
-the parser and in the subcommand's ``--help`` text.
+``longitudinal``, ``multivantage``) are the operational surface of
+the project; a flag added to the parser but not the README — or
+documented but removed — is exactly the drift CI should catch.  The
+parser is the source of truth: every option it defines must appear in
+the README's CLI section, and every ``--flag`` the README mentions
+there must exist in the parser and in the subcommand's ``--help``
+text.
 """
 
 import re
@@ -19,7 +20,7 @@ from repro.cli import build_parser
 README = Path(__file__).resolve().parent.parent / "README.md"
 
 #: Subcommands whose flag surface the README must track.
-GUARDED = ("crawl", "measure", "longitudinal")
+GUARDED = ("crawl", "measure", "longitudinal", "multivantage")
 
 #: Flags shared by every engine-backed subcommand, documented once in
 #: the README's common list rather than per subcommand.
@@ -159,6 +160,37 @@ def test_readme_documents_streaming_analysis():
             f"README 'Streaming analysis' section no longer mentions "
             f"{anchor}"
         )
+
+
+def test_readme_documents_multivantage_campaigns():
+    """The multi-vantage surface must stay documented: the campaign
+    section naming the regimes, the scenario knobs, and the
+    discrepancy report is what the vantage-matrix CI job and the
+    BENCH_discrepancy floors enforce."""
+    text = README.read_text(encoding="utf-8")
+    match = re.search(
+        r"^## Multi-vantage campaigns\n(.*?)(?=^## )", text,
+        re.DOTALL | re.MULTILINE,
+    )
+    assert match, "README.md lost its '## Multi-vantage campaigns' section"
+    section = match.group(1)
+    for anchor in (
+        "MultiVantageSpec", "--vps", "--regime", "geo-blocked",
+        "--relocate", "StreamingDiscrepancyReport",
+        "--product discrepancy", "BENCH_discrepancy.json",
+        "vantage-matrix",
+    ):
+        assert anchor in section, (
+            f"README 'Multi-vantage campaigns' section no longer "
+            f"mentions {anchor}"
+        )
+    # The documented report product must actually exist in the parser.
+    report = top_level_parsers()["report"]
+    product = next(
+        action for action in report._actions
+        if "--product" in action.option_strings
+    )
+    assert "discrepancy" in product.choices
 
 
 def test_readme_documents_spec_and_checkpoint():
