@@ -737,6 +737,7 @@ class EngineResult:
         anyone actually needs the typed objects.
         """
         if self.outcomes is None:
+            # reprolint: disable=materialized-records -- .records IS the documented materialising consumer API; iter_records is the streaming twin
             return load_records(self.spool_path)
         return [
             materialize_record(o.record)

@@ -279,6 +279,7 @@ def reload_completed_wave(spool_path, checkpoint_path, plan):
         return None
     if checkpoint_path is not None and checkpoint_path.exists():
         return None
+    # reprolint: disable=materialized-records -- bounded by one wave; the caller builds a list-based CrawlResult from it either way
     records = list(iter_records(spool_path))
     if len(records) != len(plan.tasks):
         return None

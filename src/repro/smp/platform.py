@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import hashlib
+import zlib
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional
 
@@ -157,8 +158,12 @@ class SMPServer(OriginServer):
             response = self.effects(request, encode_effects(effects))
         # The loader always pings home (metrics + frequency-capping
         # cookies on the SMP domain — non-tracking third-party cookies).
+        # CRC-32, like engine sharding: the cookie value lands in crawl
+        # records, so it must be identical across interpreter hash seeds
+        # and worker processes (builtin hash() is salted per process).
         response.add_cookie(
-            f"{self.platform.name}_metrics=m{hash(spec.domain) & 0xffff}; "
+            f"{self.platform.name}_metrics="
+            f"m{zlib.crc32(spec.domain.encode('utf-8')) & 0xffff}; "
             f"Domain={self.platform.domain}; Max-Age=86400"
         )
         response.add_cookie(

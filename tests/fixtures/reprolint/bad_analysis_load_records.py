@@ -1,0 +1,18 @@
+# lint-as: src/repro/analysis/fixture_tables.py
+# expect: materialized-records
+"""The original sin: materialising a record file inside analysis/."""
+
+import json
+
+from repro.measure.storage import load_records
+
+
+def wall_rate(path) -> float:
+    records = load_records(path)
+    walls = sum(1 for record in records if getattr(record, "wall", False))
+    return walls / max(len(records), 1)
+
+
+def load_manifest(path) -> dict:
+    with open(path, encoding="utf-8") as handle:
+        return json.load(handle)

@@ -1,0 +1,28 @@
+# lint-as: src/repro/measure/fixture_bundle.py
+# expect: bundle-pickle-safety
+# pickle-roots: ShardBundle
+"""A lambda (and friends) smuggled into the shard bundle type graph."""
+
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+
+@dataclass
+class ShardDetector:
+    """Reached from ShardBundle via the detector annotation."""
+
+    threshold: float = 0.5
+
+    def __post_init__(self) -> None:
+        self._guard = threading.Lock()
+
+
+@dataclass
+class ShardBundle:
+    """The bundle root the rule walks."""
+
+    tasks: List[str] = field(default_factory=list)
+    detector: Optional[ShardDetector] = None
+    on_error: Callable = lambda error: None
+    progress: Callable = field(default=lambda done: None)

@@ -1,0 +1,14 @@
+# lint-as: benchmarks/fixture_bench_merge.py
+# expect: materialized-records
+"""Materialising call patterns on a merge/benchmark path."""
+
+from repro.measure.storage import iter_records
+
+
+def count_slow(path) -> int:
+    return len(list(iter_records(path)))
+
+
+def lines(path) -> list:
+    with open(path, encoding="utf-8") as handle:
+        return handle.readlines()

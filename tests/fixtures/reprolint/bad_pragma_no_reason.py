@@ -1,0 +1,7 @@
+# lint-as: src/repro/webgen/fixture_pragma_bad.py
+# expect: salted-hash bad-pragma
+"""A pragma without a justification suppresses nothing and is flagged."""
+
+
+def legacy_bucket(domain: str) -> int:
+    return hash(domain) % 16  # reprolint: disable=salted-hash

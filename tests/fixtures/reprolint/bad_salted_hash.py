@@ -1,0 +1,12 @@
+# lint-as: src/repro/webgen/fixture_banners.py
+# expect: salted-hash
+"""A reintroduced per-process-salted hash()-derived seed (the PR 7 bug)."""
+
+
+def banner_variant(domain: str, variants: int) -> int:
+    # Salted per process: two workers disagree on the variant.
+    return hash(domain) % variants
+
+
+def cmp_vendor_seed(domain: str) -> int:
+    return hash((domain, "cmp")) & 0xFFFF

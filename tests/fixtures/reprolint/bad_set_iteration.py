@@ -1,0 +1,18 @@
+# lint-as: src/repro/vantage/fixture_regions.py
+# expect: set-iteration
+"""Bare-set iteration order reaching output."""
+
+
+def region_lines(extra: str) -> list:
+    lines = []
+    for region in {"DE", "US", extra}:
+        lines.append(f"region={region}")
+    return lines
+
+
+def header_value(domains) -> str:
+    return ",".join(set(domains))
+
+
+def as_list(codes) -> list:
+    return list({code.upper() for code in codes})

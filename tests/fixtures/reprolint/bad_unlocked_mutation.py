@@ -1,0 +1,24 @@
+# lint-as: src/repro/adblock/fixture_hits.py
+# expect: unlocked-mutation
+"""The pre-PR-4 lost-update bug: a guarded Counter bumped lock-free."""
+
+import threading
+from collections import Counter
+
+
+class HitTracker:
+    def __init__(self) -> None:
+        self.hit_counts: Counter = Counter()
+        self._hits_lock = threading.Lock()
+
+    def record_hit(self, rule: str) -> None:
+        with self._hits_lock:
+            self.hit_counts[rule] += 1
+
+    def record_hit_fast(self, rule: str) -> None:
+        # Data race: same attribute, no lock — two worker threads lose
+        # increments exactly the way the PR 4 fix prevented.
+        self.hit_counts[rule] += 1
+
+    def forget(self, rule: str) -> None:
+        self.hit_counts.pop(rule, None)

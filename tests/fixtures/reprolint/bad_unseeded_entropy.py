@@ -1,0 +1,38 @@
+# lint-as: src/repro/measure/fixture_visits.py
+# expect: unseeded-entropy
+"""Every flavour of unseeded entropy the rule must catch."""
+
+import os
+import random
+import secrets
+import time
+import uuid
+from datetime import datetime
+
+
+def visit_id() -> str:
+    return str(uuid.uuid4())
+
+
+def jitter() -> float:
+    return random.random()
+
+
+def fresh_rng() -> random.Random:
+    return random.Random()
+
+
+def nonce() -> bytes:
+    return os.urandom(8)
+
+
+def token() -> str:
+    return secrets.token_hex(4)
+
+
+def stamp() -> float:
+    return time.time()
+
+
+def when() -> str:
+    return datetime.now().isoformat()

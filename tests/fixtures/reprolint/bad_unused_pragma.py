@@ -1,0 +1,9 @@
+# lint-as: src/repro/webgen/fixture_pragma_stale.py
+# expect: unused-suppression
+"""A pragma that suppresses nothing has rotted and is flagged."""
+
+import zlib
+
+
+def stable_bucket(domain: str) -> int:
+    return zlib.crc32(domain.encode()) % 16  # reprolint: disable=salted-hash -- fixture: nothing here triggers the rule any more

@@ -1,0 +1,39 @@
+# lint-as: src/repro/measure/fixture_bundle_ok.py
+# expect: clean
+# pickle-roots: ShardBundle
+"""Near-miss: a fully picklable bundle graph.
+
+Module-level functions pickle by reference; ``default_factory``
+lambdas build picklable *values*; and a lock in an unrelated,
+unreachable class is none of the bundle's business.
+"""
+
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+
+def ignore_error(error) -> None:
+    return None
+
+
+@dataclass
+class ShardDetector:
+    threshold: float = 0.5
+    labels: Dict[str, int] = field(default_factory=dict)
+
+
+@dataclass
+class ShardBundle:
+    tasks: List[str] = field(default_factory=list)
+    detector: Optional[ShardDetector] = None
+    on_error: Callable = ignore_error
+    extras: Dict[str, int] = field(default_factory=lambda: {"retries": 2})
+
+
+class UnrelatedCache:
+    """Not reachable from ShardBundle; its lock must not be flagged."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.entries: Dict[str, str] = {}

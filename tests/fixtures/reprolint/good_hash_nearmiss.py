@@ -1,0 +1,24 @@
+# lint-as: src/repro/webgen/fixture_banners_ok.py
+# expect: clean
+"""Near-misses: __hash__ definitions and stable derivations are fine."""
+
+import zlib
+
+from repro.rng import derive_seed
+
+
+class SeedKey:
+    def __init__(self, seed: int) -> None:
+        self.seed = seed
+
+    def __hash__(self) -> int:
+        # hash() inside __hash__ never leaks into records.
+        return hash(("SeedKey", self.seed))
+
+
+def banner_variant(world_seed: int, domain: str, variants: int) -> int:
+    return derive_seed(world_seed, "banner-variant", domain) % variants
+
+
+def shard_of(domain: str, shards: int) -> int:
+    return zlib.crc32(domain.encode("utf-8")) % shards

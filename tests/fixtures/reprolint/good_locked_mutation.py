@@ -1,0 +1,35 @@
+# lint-as: src/repro/adblock/fixture_hits_ok.py
+# expect: clean
+"""Near-miss: consistent locking, plus the sanctioned conventions."""
+
+import threading
+from collections import Counter
+
+
+class HitTracker:
+    def __init__(self) -> None:
+        # Construction happens before the object is shared.
+        self.hit_counts: Counter = Counter()
+        self.labels: dict = {}
+        self._hits_lock = threading.Lock()
+
+    def record_hit(self, rule: str) -> None:
+        with self._hits_lock:
+            self.hit_counts[rule] += 1
+
+    def record_many(self, rules) -> None:
+        with self._hits_lock:
+            for rule in rules:
+                self._bump_locked(rule)
+
+    def _bump_locked(self, rule: str) -> None:
+        # *_locked convention: the caller holds _hits_lock.
+        self.hit_counts[rule] += 1
+
+    def reset(self) -> None:
+        # Rebinding is construction, not an in-place read-modify-write.
+        self.hit_counts = Counter()
+
+    def label(self, rule: str, text: str) -> None:
+        # Never mutated under the lock anywhere -> not a guarded attr.
+        self.labels[rule] = text

@@ -1,0 +1,12 @@
+# lint-as: src/repro/webgen/fixture_pragma_ok.py
+# expect: clean
+"""A justified pragma suppresses its finding (trailing and standalone)."""
+
+
+def legacy_bucket(domain: str) -> int:
+    return hash(domain) % 16  # reprolint: disable=salted-hash -- fixture: value never leaves this process, feeds a local cache only
+
+
+def legacy_variant(domain: str) -> int:
+    # reprolint: disable=salted-hash -- fixture: standalone pragma guards the next line
+    return hash(domain) % 4

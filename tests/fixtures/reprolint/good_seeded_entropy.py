@@ -1,0 +1,24 @@
+# lint-as: src/repro/measure/fixture_visits_ok.py
+# expect: clean
+"""Near-misses: seeded streams, digest uuids, and durations are fine."""
+
+import random
+import time
+import uuid
+
+from repro.rng import derive_seed
+
+
+def visit_rng(world_seed: int, domain: str) -> random.Random:
+    return random.Random(derive_seed(world_seed, "visit", domain))
+
+
+def stable_id(domain: str) -> uuid.UUID:
+    # uuid5 is a namespace digest, deterministic for a given name.
+    return uuid.uuid5(uuid.NAMESPACE_DNS, domain)
+
+
+def timed(fn):
+    started = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - started

@@ -1,0 +1,19 @@
+# lint-as: src/repro/vantage/fixture_regions_ok.py
+# expect: clean
+"""Near-misses: sorted sets, membership, and unordered reductions."""
+
+
+def region_lines(extra: str) -> list:
+    return [f"region={region}" for region in sorted({"DE", "US", extra})]
+
+
+def header_value(domains) -> str:
+    return ",".join(sorted(set(domains)))
+
+
+def is_eu(code: str) -> bool:
+    return code in {"DE", "FR", "IT"}
+
+
+def distinct(codes) -> int:
+    return len({code.upper() for code in codes})

@@ -1,0 +1,21 @@
+# lint-as: src/repro/analysis/fixture_tables_ok.py
+# expect: clean
+"""Near-miss: single-pass streaming aggregation, json.loads per line."""
+
+import json
+
+from repro.measure.storage import iter_records
+
+
+def wall_rate(path) -> float:
+    walls = total = 0
+    for record in iter_records(path):
+        total += 1
+        if getattr(record, "wall", False):
+            walls += 1
+    return walls / max(total, 1)
+
+
+def parse_line(line: str) -> dict:
+    # json.loads on one line is the streaming decode, not a whole file.
+    return json.loads(line)

@@ -193,6 +193,38 @@ def test_readme_documents_multivantage_campaigns():
     assert "discrepancy" in product.choices
 
 
+def test_readme_documents_static_analysis():
+    """The reprolint surface must stay documented: the section naming
+    every rule, the pragma syntax, the baseline workflow, and the
+    --explain/--format flags is what the CI lint gate and the fixture
+    corpus in tests/test_reprolint.py enforce."""
+    text = README.read_text(encoding="utf-8")
+    match = re.search(
+        r"^## Static analysis\n(.*?)(?=^## )", text,
+        re.DOTALL | re.MULTILINE,
+    )
+    assert match, "README.md lost its '## Static analysis' section"
+    section = match.group(1)
+    from tools.reprolint.rules import rules_by_name
+
+    # Every registered rule (and no ghost rule) is documented by name.
+    for rule in rules_by_name():
+        assert f"`{rule}`" in section, (
+            f"README 'Static analysis' section does not document rule "
+            f"{rule!r}"
+        )
+    for anchor in (
+        "python -m tools.reprolint", "reprolint: disable=", "--explain",
+        "--list-rules", "--format=github", "baseline.json",
+        "--write-baseline", "bad-pragma", "unused-suppression",
+        "check_streaming_analysis.py", "test_reprolint.py",
+    ):
+        assert anchor in section, (
+            f"README 'Static analysis' section no longer mentions "
+            f"{anchor}"
+        )
+
+
 def test_readme_documents_spec_and_checkpoint():
     subsections = readme_subsections()
     assert "spec" in subsections, "README lacks a '### `spec`' subsection"

@@ -111,3 +111,71 @@ class TestLoginFlow:
         browser = medium_world.browser("DE")
         page = browser.visit(f"https://{platform.domain}/checkout")
         assert "2,99" in page.visible_text()
+
+
+class TestMetricsCookieDeterminism:
+    """Regression: the loader's metrics cookie must not depend on the
+    interpreter hash seed (it used to be derived from the per-process
+    salted ``hash(spec.domain)``; reprolint's salted-hash rule now
+    bans the pattern outright)."""
+
+    @staticmethod
+    def _walled_partner(world, platform):
+        for domain in platform.partner_domains:
+            spec = world.sites.get(domain)
+            if spec is not None and spec.wall is not None:
+                return domain
+        pytest.skip("no walled partner in the fixture world")
+
+    def test_metrics_cookie_is_crc32_of_domain(self, medium_world):
+        import zlib
+
+        platform = medium_world.platforms["contentpass"]
+        partner = self._walled_partner(medium_world, platform)
+        browser = medium_world.browser("DE")
+        browser.visit(partner)
+        cookie = browser.jar.get(f"{platform.name}_metrics", platform.domain)
+        assert cookie is not None
+        expected = zlib.crc32(partner.encode("utf-8")) & 0xFFFF
+        assert cookie.value == f"m{expected}"
+
+    def test_metrics_cookie_stable_across_hash_seeds(self):
+        """The value a fresh interpreter computes is pinned across
+        PYTHONHASHSEED values — the exact property ``hash()`` broke."""
+        import os
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        script = (
+            "from repro.webgen import build_world\n"
+            "world = build_world(scale=0.02, seed=7)\n"
+            "platform = world.platforms['contentpass']\n"
+            "partner = next(\n"
+            "    d for d in platform.partner_domains\n"
+            "    if world.sites.get(d) is not None\n"
+            "    and world.sites[d].wall is not None\n"
+            ")\n"
+            "browser = world.browser('DE')\n"
+            "browser.visit(partner)\n"
+            "cookie = browser.jar.get(\n"
+            "    f'{platform.name}_metrics', platform.domain\n"
+            ")\n"
+            "print(f'{partner} {cookie.value}')\n"
+        )
+        repo = Path(__file__).resolve().parent.parent
+        values = []
+        for seed in ("0", "1"):
+            env = dict(os.environ)
+            env["PYTHONHASHSEED"] = seed
+            env["PYTHONPATH"] = str(repo / "src")
+            proc = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True,
+                text=True,
+                env=env,
+                timeout=300,
+            )
+            assert proc.returncode == 0, proc.stderr
+            values.append(proc.stdout.strip())
+        assert values[0] == values[1]

@@ -1,0 +1,1 @@
+"""Repo tooling (reprolint and friends); a package so ``python -m tools.reprolint`` works."""

@@ -1,74 +1,18 @@
 #!/usr/bin/env python3
-"""Lint: the analysis layer must never materialise a record file.
+"""Shim: folded into reprolint as the ``materialized-records`` rule.
 
-Every aggregation under ``src/repro/analysis/`` is single-pass by
-design (see the streaming analysis layer); the one API that pulls a
-whole JSONL file into a list is ``load_records``.  This check fails if
-any module under the analysis package imports it — or references it as
-an attribute (``storage.load_records``) — so a convenience refactor
-cannot quietly reintroduce an O(records) buffer into a path the
-flat-memory gates assume is streaming.  Use ``iter_records`` /
-``iter_jsonl`` there instead.
-
-Run from the repo root (CI does)::
-
-    python tools/check_streaming_analysis.py
+Kept so old invocations (docs, muscle memory) keep working; the real
+check now lives in ``tools/reprolint`` and CI runs the full suite via
+``python -m tools.reprolint``.  Exit codes are unchanged (0 clean,
+1 findings, 2 usage error).
 """
 
-from __future__ import annotations
-
-import ast
 import sys
 from pathlib import Path
 
-REPO = Path(__file__).resolve().parent.parent
-ANALYSIS = REPO / "src" / "repro" / "analysis"
-BANNED = "load_records"
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
 
-
-def violations_in(path: Path) -> list[str]:
-    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
-    found = []
-    relative = path.relative_to(REPO)
-    for node in ast.walk(tree):
-        if isinstance(node, ast.ImportFrom):
-            for alias in node.names:
-                if alias.name == BANNED:
-                    found.append(
-                        f"{relative}:{node.lineno}: imports {BANNED} "
-                        f"from {node.module}"
-                    )
-        elif isinstance(node, ast.Import):
-            for alias in node.names:
-                if alias.name.split(".")[-1] == BANNED:
-                    found.append(
-                        f"{relative}:{node.lineno}: imports {alias.name}"
-                    )
-        elif isinstance(node, ast.Attribute) and node.attr == BANNED:
-            found.append(
-                f"{relative}:{node.lineno}: references .{BANNED}"
-            )
-    return found
-
-
-def main() -> int:
-    if not ANALYSIS.is_dir():
-        print(f"::error::{ANALYSIS} does not exist", file=sys.stderr)
-        return 2
-    failures = []
-    for path in sorted(ANALYSIS.rglob("*.py")):
-        failures.extend(violations_in(path))
-    if failures:
-        for failure in failures:
-            print(f"::error::{failure}: the analysis layer is "
-                  "single-pass — stream with iter_records instead",
-                  file=sys.stderr)
-        return 1
-    count = len(list(ANALYSIS.rglob('*.py')))
-    print(f"OK: no {BANNED} use under src/repro/analysis/ "
-          f"({count} modules checked)")
-    return 0
-
+from tools.reprolint.cli import main  # noqa: E402
 
 if __name__ == "__main__":
-    raise SystemExit(main())
+    sys.exit(main(["--select", "materialized-records", "src/repro"]))

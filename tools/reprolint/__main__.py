@@ -1,0 +1,8 @@
+"""Entry point: ``python -m tools.reprolint``."""
+
+import sys
+
+from tools.reprolint.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,29 @@
+"""The reprolint rule registry."""
+
+from typing import Dict, List
+
+from tools.reprolint.core import Rule
+from tools.reprolint.rules.determinism import (
+    SaltedHashRule,
+    SetIterationRule,
+    UnseededEntropyRule,
+)
+from tools.reprolint.rules.locking import UnlockedMutationRule
+from tools.reprolint.rules.pickle_safety import BundlePickleSafetyRule
+from tools.reprolint.rules.streaming import MaterializedRecordsRule
+
+
+def all_rules() -> List[Rule]:
+    """One fresh instance of every registered rule."""
+    return [
+        SaltedHashRule(),
+        UnseededEntropyRule(),
+        SetIterationRule(),
+        MaterializedRecordsRule(),
+        BundlePickleSafetyRule(),
+        UnlockedMutationRule(),
+    ]
+
+
+def rules_by_name() -> Dict[str, Rule]:
+    return {rule.name: rule for rule in all_rules()}

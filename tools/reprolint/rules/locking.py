@@ -1,0 +1,193 @@
+"""Locking discipline: lock-guarded state is guarded *everywhere*.
+
+Modeled on the PR 4 locked-``Counter`` fix in ``adblock.FilterEngine``:
+``hit_counts`` is mutated under ``_hits_lock`` — so a later edit that
+bumps it without the lock reintroduces the lost-update bug the fix
+killed.  The rule infers, per class, which attributes the author
+considers lock-guarded (any attribute mutated at least once inside
+``with self.<lock>:``) and flags every mutation of those attributes
+that happens outside a lock.
+
+Conventions honoured: ``__init__``/``__post_init__`` run before the
+object is shared and are exempt; methods named ``*_locked`` assert the
+caller holds the lock (the ``_emit_locked`` pattern) and are exempt;
+rebinding (``self.x = ...``) is construction, not mutation, and is not
+tracked.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set, Tuple
+
+from tools.reprolint.core import Finding, Rule, SourceFile
+
+#: Modules on executor worker code paths: classes here are mutated from
+#: crawl-engine worker threads, so inconsistent guarding is a data race.
+WORKER_SCOPES: Tuple[str, ...] = (
+    "src/repro/measure/",
+    "src/repro/adblock/",
+    "src/repro/soup/",
+    "src/repro/netsim/",
+    "src/repro/lru.py",
+)
+
+#: Receiver methods that mutate their object in place.
+_MUTATORS = {
+    "append", "appendleft", "extend", "insert", "remove", "pop", "popitem",
+    "popleft", "clear", "add", "discard", "update", "setdefault", "sort",
+    "reverse", "increment",
+}
+
+_EXEMPT_METHODS = ("__init__", "__post_init__")
+
+
+def _lock_ctor(node: ast.AST) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    name = func.attr if isinstance(func, ast.Attribute) else (
+        func.id if isinstance(func, ast.Name) else ""
+    )
+    return name in {"Lock", "RLock"}
+
+
+def _self_attr(node: ast.AST) -> Optional[str]:
+    """``self.<attr>...`` -> ``attr`` (first hop off self), else None."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        parent = node.value
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(parent, ast.Name)
+            and parent.id == "self"
+        ):
+            return node.attr
+        node = parent
+    return None
+
+
+def _mutations(node: ast.AST) -> Iterator[Tuple[str, ast.AST]]:
+    """Yield ``(attr, node)`` for every in-place mutation of a self attr."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.AugAssign):
+            attr = _self_attr(sub.target)
+            if attr is not None:
+                yield attr, sub
+        elif isinstance(sub, ast.Assign):
+            for target in sub.targets:
+                if isinstance(target, ast.Subscript):
+                    attr = _self_attr(target)
+                    if attr is not None:
+                        yield attr, sub
+        elif isinstance(sub, ast.Delete):
+            for target in sub.targets:
+                if isinstance(target, ast.Subscript):
+                    attr = _self_attr(target)
+                    if attr is not None:
+                        yield attr, sub
+        elif isinstance(sub, ast.Call):
+            func = sub.func
+            if isinstance(func, ast.Attribute) and func.attr in _MUTATORS:
+                attr = _self_attr(func.value)
+                if attr is not None:
+                    yield attr, sub
+
+
+def _with_lock_bodies(
+    method: ast.AST, lock_attrs: Set[str]
+) -> Iterator[List[ast.stmt]]:
+    for sub in ast.walk(method):
+        if not isinstance(sub, (ast.With, ast.AsyncWith)):
+            continue
+        for item in sub.items:
+            attr = _self_attr(item.context_expr)
+            if attr in lock_attrs:
+                yield sub.body
+                break
+
+
+class UnlockedMutationRule(Rule):
+    name = "unlocked-mutation"
+    summary = "attributes mutated under a lock must always be mutated under it"
+    explanation = """\
+In a class that owns a ``threading.Lock``/``RLock``, the rule infers
+the guarded attribute set — every instance attribute mutated in place
+(``+=``, ``[k] = v``, ``.append``/``.update``/``.setdefault``/...)
+inside a ``with self.<lock>:`` block anywhere in the class — and then
+requires every other in-place mutation of those attributes to happen
+under a lock too.  One unguarded ``self.hit_counts[k] += 1`` next to a
+guarded one is exactly the lost-update race the PR 4 locked-Counter fix
+removed; executor worker threads make it a real corruption, not a
+theoretical one.
+
+Exempt: ``__init__``/``__post_init__`` (pre-sharing construction),
+methods named ``*_locked`` (the documented held-lock convention — the
+caller takes the lock), and plain rebinding (``self.x = []`` resets a
+reference; it does not race with in-place mutation the way two
+read-modify-writes do).  Scope: worker-path modules
+(``measure/``, ``adblock/``, ``soup/``, ``netsim/``, ``lru.py``).
+"""
+
+    def applies_to(self, rel: str) -> bool:
+        return rel.startswith(WORKER_SCOPES)
+
+    def check(self, src: SourceFile) -> Iterator[Finding]:
+        for node in ast.walk(src.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(src, node)
+
+    def _check_class(
+        self, src: SourceFile, cls: ast.ClassDef
+    ) -> Iterator[Finding]:
+        lock_attrs: Set[str] = set()
+        for sub in ast.walk(cls):
+            if isinstance(sub, ast.Assign) and _lock_ctor(sub.value):
+                for target in sub.targets:
+                    attr = _self_attr(target)
+                    if attr is not None:
+                        lock_attrs.add(attr)
+                    elif isinstance(target, ast.Name):
+                        lock_attrs.add(target.id)  # class-level lock
+            elif isinstance(sub, ast.AnnAssign) and _lock_ctor(sub.value):
+                attr = _self_attr(sub.target)
+                if attr is not None:
+                    lock_attrs.add(attr)
+                elif isinstance(sub.target, ast.Name):
+                    lock_attrs.add(sub.target.id)
+        if not lock_attrs:
+            return
+
+        methods = [
+            stmt
+            for stmt in cls.body
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+
+        guarded: Set[str] = set()
+        for method in methods:
+            for body in _with_lock_bodies(method, lock_attrs):
+                for stmt in body:
+                    for attr, _ in _mutations(stmt):
+                        guarded.add(attr)
+        guarded -= lock_attrs
+        if not guarded:
+            return
+
+        for method in methods:
+            if method.name in _EXEMPT_METHODS or method.name.endswith("_locked"):
+                continue
+            locked_nodes: Set[int] = set()
+            for body in _with_lock_bodies(method, lock_attrs):
+                for stmt in body:
+                    for sub in ast.walk(stmt):
+                        locked_nodes.add(id(sub))
+            for attr, node in _mutations(method):
+                if attr in guarded and id(node) not in locked_nodes:
+                    yield src.finding(
+                        self.name,
+                        node,
+                        f"{cls.name}.{attr} is lock-guarded elsewhere in the "
+                        "class but mutated here without the lock; wrap this "
+                        "in the guarding 'with' (or rename the method "
+                        "*_locked if the caller holds it)",
+                    )
