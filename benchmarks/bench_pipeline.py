@@ -70,6 +70,9 @@ def test_parallel_crawl_speedup(benchmark):
     """
     world = build_world(scale=0.05, seed=BENCH_SEED)
     world.network.latency = _BENCH_LATENCY
+    # Wall-clock benchmark: pay the latency in real sleeps (the engine
+    # default is the deterministic virtual clock, which never blocks).
+    world.network.latency_mode = "real"
     crawler = Crawler(world)
     sample = world.crawl_targets[:_SAMPLE_SIZE]
 
@@ -210,6 +213,8 @@ def test_checkpoint_resume_speedup(benchmark, tmp_path):
     """
     world = build_world(scale=0.05, seed=BENCH_SEED)
     world.network.latency = _BENCH_LATENCY
+    # Wall-clock benchmark: real sleeps, as in test_parallel_crawl_speedup.
+    world.network.latency_mode = "real"
     crawler = Crawler(world)
     sample = world.crawl_targets[:_SAMPLE_SIZE]
     plan = crawler.plan_detection_crawl(["DE"], sample)

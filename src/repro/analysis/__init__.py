@@ -23,6 +23,7 @@ from repro.analysis.discrepancy import (
     StreamingDiscrepancyReport,
     build_discrepancy_report,
 )
+from repro.analysis.failures import StreamingFailureTaxonomy
 from repro.analysis.streaming import (
     StreamingCookieComparison,
     StreamingCrawlAnalysis,
@@ -41,5 +42,6 @@ __all__ = [
     "StreamingCrawlAnalysis",
     "StreamingCookieComparison",
     "StreamingDiscrepancyReport",
+    "StreamingFailureTaxonomy",
     "build_discrepancy_report",
 ]

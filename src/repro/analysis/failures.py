@@ -1,0 +1,117 @@
+"""Streaming failure taxonomy: what degraded, where, and how badly.
+
+The resilience plane never loses a task — unrecoverable visits yield
+deterministic partial records carrying the error name that killed them
+(``flags["degraded"]`` on detection records, ``error`` on every record
+type).  This module folds a record stream into the failure-taxonomy
+table: counts per vantage point × error class, each classified
+transient/permanent through :func:`repro.errors.error_category`, with
+state bounded by the number of distinct ``(vp, error)`` pairs, never
+the stream length — the same contract as the other streaming
+aggregators in this package.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import error_category
+
+
+class StreamingFailureTaxonomy:
+    """One pass over any record stream → the failure-taxonomy table.
+
+    Accepts every record type the engine produces (detection visits,
+    cookie measurements, uBlock records): anything exposing an
+    ``error`` attribute counts as degraded when it is non-None.
+    Records without a vantage point (uBlock) fold under ``"-"``.
+
+    >>> from repro.measure.records import VisitRecord
+    >>> tax = StreamingFailureTaxonomy()
+    >>> _ = tax.add(VisitRecord(vp="DE", domain="a.com", reachable=True))
+    >>> _ = tax.add(VisitRecord(vp="DE", domain="b.com", reachable=False,
+    ...                         error="TimeoutError"))
+    >>> tax.degraded, tax.total
+    (1, 2)
+    >>> tax.rows()[0]["category"]
+    'transient'
+    """
+
+    def __init__(self) -> None:
+        self.total = 0
+        self.degraded = 0
+        #: (vp, error name) -> count, insertion-ordered by first sight.
+        self._counts: Dict[Tuple[str, str], int] = {}
+
+    # ------------------------------------------------------------------
+    # The single pass
+    # ------------------------------------------------------------------
+    def add(
+        self, record, *, wave: Optional[int] = None
+    ) -> "StreamingFailureTaxonomy":
+        self.total += 1
+        error = getattr(record, "error", None)
+        if error is None:
+            return self
+        self.degraded += 1
+        vp = getattr(record, "vp", None) or "-"
+        if wave is not None:
+            vp = f"{vp}/wave-{wave:02d}"
+        key = (vp, str(error))
+        self._counts[key] = self._counts.get(key, 0) + 1
+        return self
+
+    def consume(self, records: Iterable) -> "StreamingFailureTaxonomy":
+        for record in records:
+            self.add(record)
+        return self
+
+    # ------------------------------------------------------------------
+    # Finalisers
+    # ------------------------------------------------------------------
+    def rows(self) -> List[Dict[str, object]]:
+        """Table rows sorted by count desc, then (vp, error) for ties."""
+        rows = [
+            {
+                "vp": vp,
+                "error": error,
+                "category": error_category(error),
+                "count": count,
+            }
+            for (vp, error), count in self._counts.items()
+        ]
+        rows.sort(key=lambda r: (-r["count"], r["vp"], r["error"]))
+        return rows
+
+    def by_category(self) -> Dict[str, int]:
+        """Degraded-record counts folded to transient/permanent/unknown."""
+        out: Dict[str, int] = {}
+        for (_, error), count in self._counts.items():
+            category = error_category(error)
+            out[category] = out.get(category, 0) + count
+        return out
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "total": self.total,
+            "degraded": self.degraded,
+            "by_category": self.by_category(),
+            "rows": self.rows(),
+        }
+
+    def render(self) -> str:
+        """The taxonomy as an ASCII table (empty stream included)."""
+        lines = [
+            "Failure taxonomy "
+            f"({self.degraded}/{self.total} records degraded)",
+            f"{'vp':<14} {'error':<24} {'class':<10} {'count':>6}",
+        ]
+        lines.append("-" * len(lines[1]))
+        for row in self.rows():
+            lines.append(
+                f"{row['vp']:<14} {row['error']:<24} "
+                f"{row['category']:<10} {row['count']:>6}"
+            )
+        if not self._counts:
+            lines.append("(no degraded records)")
+        return "\n".join(lines)

@@ -21,18 +21,21 @@ from repro.api.spec import (
     MEASURE_MODES,
     MERGE_MODES,
     RUN_KINDS,
+    ChaosSpec,
     CrawlSpec,
     EngineSpec,
     LongitudinalSpec,
     MeasureSpec,
     MultiVantageSpec,
     OutputSpec,
+    ResilienceSpec,
     RunSpec,
     SpecError,
     WorldSpec,
 )
 
 __all__ = [
+    "ChaosSpec",
     "CrawlSpec",
     "EngineSpec",
     "EXECUTOR_BACKENDS",
@@ -44,6 +47,7 @@ __all__ = [
     "OutputSpec",
     "RESULT_VERSION",
     "RUN_KINDS",
+    "ResilienceSpec",
     "RunFailure",
     "RunResult",
     "RunSpec",

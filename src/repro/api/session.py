@@ -29,12 +29,14 @@ from typing import Callable, Dict, Iterable, Optional, Union
 
 from repro.api.result import RunFailure, RunResult
 from repro.api.spec import (
+    ChaosSpec,
     CrawlSpec,
     EngineSpec,
     LongitudinalSpec,
     MeasureSpec,
     MultiVantageSpec,
     OutputSpec,
+    ResilienceSpec,
     RunSpec,
     SpecError,
     WorldSpec,
@@ -98,6 +100,8 @@ class Session:
         world: Union[RunSpec, WorldSpec, World, None] = None,
         *,
         engine: Optional[EngineSpec] = None,
+        resilience: Optional[ResilienceSpec] = None,
+        chaos: Optional[ChaosSpec] = None,
         crawler: Optional[Crawler] = None,
         retry: Optional[RetryPolicy] = None,
         event_log: Optional[EventLog] = None,
@@ -108,6 +112,10 @@ class Session:
         if isinstance(world, RunSpec):
             self._default_spec = world.validate()
             engine = engine if engine is not None else world.engine
+            resilience = (
+                resilience if resilience is not None else world.resilience
+            )
+            chaos = chaos if chaos is not None else world.chaos
             world = world.world
         self._world: Optional[World] = None
         if isinstance(world, World):
@@ -127,10 +135,25 @@ class Session:
         self.world_spec.validate()
         self.engine_spec = engine if engine is not None else EngineSpec()
         self.engine_spec.validate()
+        self.resilience_spec = (
+            resilience if resilience is not None else ResilienceSpec()
+        )
+        self.resilience_spec.validate()
+        self.chaos_spec = chaos if chaos is not None else ChaosSpec()
+        self.chaos_spec.validate()
         self._explicit_retry = retry
+        res = self.resilience_spec
         self.retry = retry if retry is not None else RetryPolicy(
             max_attempts=self.engine_spec.retry_max_attempts,
             retry_unreachable=self.engine_spec.retry_unreachable,
+            backoff_base=res.backoff_base,
+            backoff_factor=res.backoff_factor,
+            backoff_max=res.backoff_max,
+            jitter=res.jitter,
+            attempt_deadline=res.attempt_deadline,
+            task_deadline=res.task_deadline,
+            breaker_threshold=res.breaker_threshold,
+            breaker_quarantine=res.breaker_quarantine,
         )
         self.event_log = event_log
         self.progress = progress
@@ -155,16 +178,25 @@ class Session:
             self._crawler = Crawler(self.world)
         return self._crawler
 
-    def _with_engine(self, engine: EngineSpec) -> "Session":
+    def _with_engine(
+        self,
+        engine: EngineSpec,
+        resilience: Optional[ResilienceSpec] = None,
+        chaos: Optional[ChaosSpec] = None,
+    ) -> "Session":
         """A sibling session sharing the world but re-targeted engine.
 
         An explicitly injected retry policy travels along; a policy
-        that was merely compiled from the old engine spec is rebuilt
-        from the new one.
+        that was merely compiled from the old engine/resilience specs
+        is rebuilt from the new ones.
         """
         return Session(
             self._world if self._world is not None else self.world_spec,
             engine=engine,
+            resilience=(
+                resilience if resilience is not None else self.resilience_spec
+            ),
+            chaos=chaos if chaos is not None else self.chaos_spec,
             crawler=self._crawler,
             retry=self._explicit_retry,
             event_log=self.event_log,
@@ -197,6 +229,12 @@ class Session:
         the serial visit-id regime — and therefore byte-identical
         records — of the pre-session harness.
         """
+        if self.chaos_spec.seed is not None:
+            # The chaos plane rides in the plan context: the checkpoint
+            # fingerprint covers it (a chaos run never resumes a
+            # fault-free checkpoint, or vice versa) and process-backend
+            # workers inherit it verbatim.
+            plan.context.setdefault("chaos", self.chaos_spec.to_context())
         if spool_path is None and output is not None and output.path:
             spool_path = output.path
         if spool_path is None and self.spool_dir is not None and name:
@@ -581,8 +619,14 @@ class Session:
                 f"spec.world {spec.world} differs from this session's "
                 f"{self.world_spec}; create a new Session for it"
             )
-        if external and spec.engine != self.engine_spec:
-            return self._with_engine(spec.engine).run(spec)
+        if external and (
+            spec.engine != self.engine_spec
+            or spec.resilience != self.resilience_spec
+            or spec.chaos != self.chaos_spec
+        ):
+            return self._with_engine(
+                spec.engine, spec.resilience, spec.chaos
+            ).run(spec)
         if spec.kind == "crawl":
             return self.crawl(spec.crawl, output=spec.output)
         if spec.kind == "measure":
@@ -611,6 +655,8 @@ class Session:
             kind=kind,
             world=self.world_spec,
             engine=self.engine_spec,
+            resilience=self.resilience_spec,
+            chaos=self.chaos_spec,
             output=output,
             **sections,
         )

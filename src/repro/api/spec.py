@@ -35,6 +35,8 @@ from dataclasses import dataclass, field, fields
 from pathlib import Path
 from typing import Dict, Mapping, Optional, Tuple, Union
 
+from repro.resilience.chaos import ChaosSpec as _ChaosPlaneSpec
+
 #: Campaign kinds a :class:`RunSpec` can describe, and the section
 #: holding each kind's workload settings.
 RUN_KINDS = ("crawl", "measure", "longitudinal", "multivantage")
@@ -153,6 +155,96 @@ class EngineSpec:
     def from_dict(cls, data: Mapping) -> "EngineSpec":
         _check_fields(cls, data, "engine")
         return cls(**data)
+
+
+@dataclass(frozen=True)
+class ResilienceSpec:
+    """Backoff, deadlines and circuit breakers for the retry layer.
+
+    All durations are **virtual seconds**: the engine pays them on the
+    world's virtual clock, so no configuration here can ever make a
+    run sleep for real — only degrade deterministically sooner.
+    """
+
+    #: Exponential-backoff schedule between retry attempts.
+    backoff_base: float = 0.5
+    backoff_factor: float = 2.0
+    backoff_max: float = 30.0
+    #: Deterministic jitter fraction in [0, 1] (derived from the task
+    #: identity, never a live RNG).
+    jitter: float = 0.1
+    #: Per-attempt virtual-time budget (None = unlimited).
+    attempt_deadline: Optional[float] = None
+    #: Whole-task virtual-time budget across attempts + backoff.
+    task_deadline: Optional[float] = None
+    #: Open a domain's circuit after N consecutive task failures
+    #: (None disables breakers).
+    breaker_threshold: Optional[int] = None
+    #: Tasks an open breaker skips before its half-open probe.
+    breaker_quarantine: int = 4
+
+    def validate(self) -> None:
+        if self.backoff_base < 0:
+            raise SpecError(
+                f"resilience.backoff_base must be >= 0, got {self.backoff_base}"
+            )
+        if self.backoff_factor < 1.0:
+            raise SpecError(
+                "resilience.backoff_factor must be >= 1, "
+                f"got {self.backoff_factor}"
+            )
+        if self.backoff_max < 0:
+            raise SpecError(
+                f"resilience.backoff_max must be >= 0, got {self.backoff_max}"
+            )
+        if not 0.0 <= self.jitter <= 1.0:
+            raise SpecError(
+                f"resilience.jitter must be in [0, 1], got {self.jitter}"
+            )
+        for name in ("attempt_deadline", "task_deadline"):
+            value = getattr(self, name)
+            if value is not None and value <= 0:
+                raise SpecError(
+                    f"resilience.{name} must be > 0, got {value}"
+                )
+        if self.breaker_threshold is not None and self.breaker_threshold < 1:
+            raise SpecError(
+                "resilience.breaker_threshold must be >= 1, "
+                f"got {self.breaker_threshold}"
+            )
+        if self.breaker_quarantine < 1:
+            raise SpecError(
+                "resilience.breaker_quarantine must be >= 1, "
+                f"got {self.breaker_quarantine}"
+            )
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "ResilienceSpec":
+        _check_fields(cls, data, "resilience")
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class ChaosSpec(_ChaosPlaneSpec):
+    """The seeded fault-injection plane (`repro.resilience.chaos`).
+
+    The spec section *is* the engine's :class:`ChaosSpec` — same
+    fields, same semantics — so what a config file declares is exactly
+    what rides in ``CrawlPlan.context`` and reaches every worker.
+    """
+
+    def validate(self) -> None:
+        try:
+            super().validate()
+        except ValueError as error:
+            raise SpecError(f"chaos: {error}") from None
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "ChaosSpec":
+        _check_fields(cls, data, "chaos")
+        out = dict(data)
+        out["domains"] = _tuple_or_none(data.get("domains"))
+        return cls(**out)
 
 
 @dataclass(frozen=True)
@@ -343,6 +435,8 @@ class OutputSpec:
 _SECTIONS = {
     "world": WorldSpec,
     "engine": EngineSpec,
+    "resilience": ResilienceSpec,
+    "chaos": ChaosSpec,
     "crawl": CrawlSpec,
     "measure": MeasureSpec,
     "longitudinal": LongitudinalSpec,
@@ -364,6 +458,8 @@ class RunSpec:
     kind: str
     world: WorldSpec = field(default_factory=WorldSpec)
     engine: EngineSpec = field(default_factory=EngineSpec)
+    resilience: ResilienceSpec = field(default_factory=ResilienceSpec)
+    chaos: ChaosSpec = field(default_factory=ChaosSpec)
     crawl: CrawlSpec = field(default_factory=CrawlSpec)
     measure: MeasureSpec = field(default_factory=MeasureSpec)
     longitudinal: LongitudinalSpec = field(default_factory=LongitudinalSpec)
@@ -379,6 +475,8 @@ class RunSpec:
             )
         self.world.validate()
         self.engine.validate()
+        self.resilience.validate()
+        self.chaos.validate()
         self.workload.validate()
         self.output.validate()
         if self.engine.resume:
@@ -423,7 +521,8 @@ class RunSpec:
     def to_dict(self) -> Dict[str, object]:
         """The canonical nested-dict form (inactive workloads omitted)."""
         out: Dict[str, object] = {"kind": self.kind}
-        for name in ("world", "engine", self.kind, "output"):
+        for name in ("world", "engine", "resilience", "chaos",
+                     self.kind, "output"):
             out[name] = dataclasses.asdict(getattr(self, name))
         return out
 

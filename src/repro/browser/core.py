@@ -13,6 +13,7 @@ from repro.errors import (
     ElementNotInteractableError,
     NavigationError,
     NetworkError,
+    is_transient,
 )
 from repro import perf
 from repro.httpkit import CookieJar, Headers, Request, Response
@@ -105,6 +106,11 @@ class Browser:
             response = self.network.fetch(request, self._visitor)
         except NetworkError as exc:
             self._emit("on_failed", visit_id, request)
+            if is_transient(exc):
+                # Transient faults (timeouts, disconnects, DNS flaps)
+                # must surface unwrapped so the engine's retry layer
+                # can classify and re-attempt the visit.
+                raise
             raise NavigationError(f"cannot load {url}: {exc}") from exc
         self._emit("on_response", visit_id, response)
         self._store_cookies(response)
@@ -179,7 +185,15 @@ class Browser:
                 return None
         try:
             response = self.network.fetch(request, self._visitor)
-        except NetworkError:
+        except NetworkError as exc:
+            if is_transient(exc):
+                # A mid-visit disconnect/timeout invalidates the whole
+                # page load; swallowing it here would let chaos faults
+                # silently alter records and break the differential
+                # oracle.  Abort the visit and let the retry layer
+                # replay it from the top.
+                self._emit("on_failed", visit_id, request)
+                raise
             page.failed_requests.append(request)
             self._emit("on_failed", visit_id, request)
             return None

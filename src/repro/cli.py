@@ -100,6 +100,25 @@ def _add_engine_args(parser: argparse.ArgumentParser) -> None:
              "does not match the plan/world/config",
     )
     parser.add_argument(
+        "--chaos-seed", type=int, default=argparse.SUPPRESS,
+        help="seed for the deterministic fault-injection plane "
+             "(chaos.* config sets the rates; recoverable faults leave "
+             "the output byte-identical to a fault-free run)",
+    )
+    parser.add_argument(
+        "--deadline", type=float, default=argparse.SUPPRESS,
+        help="per-task virtual-seconds budget across attempts and "
+             "backoff (resilience.task_deadline; breached tasks degrade "
+             "to DeadlineExceeded partial records, no real sleeping)",
+    )
+    parser.add_argument(
+        "--breaker", type=_positive_int, default=argparse.SUPPRESS,
+        help="open a per-domain circuit breaker after N consecutive "
+             "task failures (resilience.breaker_threshold; quarantined "
+             "tasks degrade to BreakerOpenError records, breaker state "
+             "survives --resume)",
+    )
+    parser.add_argument(
         "--config", metavar="FILE", default=argparse.SUPPRESS,
         help="load a run spec from a TOML or JSON config file; flags "
              "given explicitly override the file's values",
@@ -307,10 +326,13 @@ def build_parser() -> argparse.ArgumentParser:
              "spools; the names carry their wave offset)",
     )
     report.add_argument(
-        "--product", choices=("walls", "discrepancy"), default="walls",
+        "--product", choices=("walls", "discrepancy", "failures"),
+        default="walls",
         help="walls: banner/cookiewall counts per VP (default); "
              "discrepancy: the streaming per-domain geo-discrepancy "
-             "report across VPs and waves",
+             "report across VPs and waves; failures: the degraded-record "
+             "taxonomy (error class x vantage point, "
+             "transient/permanent)",
     )
 
     export = sub.add_parser(
@@ -353,7 +375,10 @@ def _compile_spec(kind: str, args: argparse.Namespace):
     config = getattr(args, "config", None)
     base = RunSpec.load(config, kind=kind) if config else RunSpec(kind=kind)
     given = lambda name: hasattr(args, name)  # noqa: E731
-    overrides = {"world": {}, "engine": {}, kind: {}, "output": {}}
+    overrides = {
+        "world": {}, "engine": {}, "resilience": {}, "chaos": {},
+        kind: {}, "output": {},
+    }
     if given("scale"):
         overrides["world"]["scale"] = args.scale
     if given("seed"):
@@ -368,6 +393,12 @@ def _compile_spec(kind: str, args: argparse.Namespace):
         overrides["engine"]["merge"] = args.merge
     if given("resume"):
         overrides["engine"]["resume"] = True
+    if given("chaos_seed"):
+        overrides["chaos"]["seed"] = args.chaos_seed
+    if given("deadline"):
+        overrides["resilience"]["task_deadline"] = args.deadline
+    if given("breaker"):
+        overrides["resilience"]["breaker_threshold"] = args.breaker
     if kind == "crawl":
         if given("vp"):
             overrides["crawl"]["vps"] = tuple(args.vp)
@@ -521,6 +552,20 @@ def main(argv: Optional[List[str]] = None) -> int:
                 record_paths.extend(str(spool) for spool in spools)
             else:
                 record_paths.append(entry)
+
+        if args.product == "failures":
+            from repro.analysis import StreamingFailureTaxonomy
+
+            taxonomy = StreamingFailureTaxonomy()
+            for position, path in enumerate(record_paths):
+                # Same wave attribution as the discrepancy product, so
+                # campaign spools stay distinguishable in the table.
+                match = re.search(r"wave-(\d+)", Path(path).name)
+                wave = int(match.group(1)) if match else None
+                for record in iter_records(path):
+                    taxonomy.add(record, wave=wave)
+            print(taxonomy.render())
+            return 0
 
         if args.product == "discrepancy":
             from repro.analysis import StreamingDiscrepancyReport

@@ -10,7 +10,16 @@ from __future__ import annotations
 
 
 class ReproError(Exception):
-    """Base class for all errors raised by the repro library."""
+    """Base class for all errors raised by the repro library.
+
+    Every subclass carries a :attr:`transient` flag classifying the
+    failure for the resilience layer: transient errors (timeouts,
+    disconnects, DNS flaps, ...) are worth retrying; permanent errors
+    (parse failures, missing DNS records, refused connections) are not.
+    """
+
+    #: Whether retrying the failed operation can plausibly succeed.
+    transient = False
 
 
 class URLError(ReproError):
@@ -53,6 +62,38 @@ class ConnectionRefused(NetworkError):
     """The target host exists but refuses connections (unreachable site)."""
 
 
+class TimeoutError(NetworkError):  # noqa: A001 - mirrors the stdlib name
+    """A request exceeded its (virtual) time budget before completing."""
+
+    transient = True
+
+
+class TruncatedResponseError(NetworkError):
+    """The response body arrived truncated or garbled (integrity check)."""
+
+    transient = True
+
+
+class DisconnectError(NetworkError):
+    """The connection dropped mid-transfer (e.g. during a page visit)."""
+
+    transient = True
+
+
+class DNSFlapError(DNSError):
+    """A transient resolver failure for a host that normally resolves."""
+
+    transient = True
+
+
+class DeadlineExceeded(ReproError):
+    """A task's total (virtual) time budget ran out across attempts."""
+
+
+class BreakerOpenError(ReproError):
+    """A per-domain circuit breaker short-circuited the task."""
+
+
 class NavigationError(ReproError):
     """The browser failed to navigate to a page."""
 
@@ -87,3 +128,50 @@ class MeasurementError(ReproError):
 
 class AnalysisError(ReproError):
     """An analysis step received inconsistent or empty input."""
+
+
+# ---------------------------------------------------------------------------
+# Taxonomy helpers
+# ---------------------------------------------------------------------------
+
+def is_transient(exc: BaseException) -> bool:
+    """True when *exc* (or any exception in its cause chain) is transient.
+
+    Walking ``__cause__``/``__context__`` matters because the browser
+    wraps network failures (``NavigationError(...) from exc``): the
+    wrapper itself is permanent, but a wrapped timeout still is a
+    retryable fault.
+    """
+    seen = set()
+    current: BaseException | None = exc
+    while current is not None and id(current) not in seen:
+        seen.add(id(current))
+        if isinstance(current, ReproError) and current.transient:
+            return True
+        current = current.__cause__ or current.__context__
+    return False
+
+
+def _taxonomy() -> dict:
+    """Map every :class:`ReproError` subclass name to its class."""
+    by_name = {}
+    stack = [ReproError]
+    while stack:
+        cls = stack.pop()
+        by_name[cls.__name__] = cls
+        stack.extend(cls.__subclasses__())
+    return by_name
+
+
+def error_category(name: str) -> str:
+    """Classify an error *name* (as recorded in outcomes/records).
+
+    Returns ``"transient"`` or ``"permanent"`` for names in the
+    :class:`ReproError` taxonomy and ``"unknown"`` for anything else —
+    analysis code must not crash on error strings minted by future
+    versions (or by custom crawlers).
+    """
+    cls = _taxonomy().get(name)
+    if cls is None:
+        return "unknown"
+    return "transient" if cls.transient else "permanent"

@@ -8,7 +8,12 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence
 from repro.adblock import UBlockOrigin
 from repro.bannerclick import BannerClick, accept_banner, reject_banner
 from repro.consent.tcf import accept_all_string
-from repro.errors import MeasurementError, NavigationError, NetworkError
+from repro.errors import (
+    MeasurementError,
+    NavigationError,
+    NetworkError,
+    is_transient,
+)
 from repro.httpkit import CookieJar
 from repro.lang import LanguageDetector
 from repro.measure.cookies_analysis import CookieCounts, average_counts, count_cookies
@@ -112,6 +117,8 @@ class Crawler:
         try:
             page = browser.visit(domain)
         except (NavigationError, NetworkError) as exc:
+            if is_transient(exc):
+                raise
             record.reachable = False
             record.error = type(exc).__name__
             return record
@@ -365,6 +372,8 @@ class Crawler:
                     accept_banner(browser, page, detection)
                     page = browser.reload(page)
             except (NavigationError, NetworkError, MeasurementError) as exc:
+                if is_transient(exc):
+                    raise
                 measurement.error = type(exc).__name__
                 continue
             site = page.site or domain
@@ -397,6 +406,8 @@ class Crawler:
                     reject_banner(browser, page, detection)
                     page = browser.reload(page)
             except (NavigationError, NetworkError, MeasurementError) as exc:
+                if is_transient(exc):
+                    raise
                 measurement.error = type(exc).__name__
                 continue
             site = page.site or domain
@@ -436,6 +447,8 @@ class Crawler:
                 baseline = jar.snapshot()
                 page = browser.visit(domain)
             except (NavigationError, NetworkError, MeasurementError) as exc:
+                if is_transient(exc):
+                    raise
                 measurement.error = type(exc).__name__
                 continue
             site = page.site or domain
@@ -465,7 +478,9 @@ class Crawler:
             )
             try:
                 page = browser.visit(domain)
-            except (NavigationError, NetworkError):
+            except (NavigationError, NetworkError) as exc:
+                if is_transient(exc):
+                    raise
                 record.errors += 1
                 continue
             detection = self.bannerclick.detect(page)

@@ -141,7 +141,6 @@ import os
 import signal
 import threading
 import time
-import warnings
 import zlib
 from concurrent.futures import ProcessPoolExecutor as _PyProcessPool
 from concurrent.futures import ThreadPoolExecutor as _PyThreadPool
@@ -152,14 +151,18 @@ from typing import Callable, Dict, Iterator, List, Optional, Set, Tuple, Union
 
 from repro.errors import NetworkError
 from repro.measure.instrumentation import Event, EventLog
+from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.chaos import ChaosEngine, ChaosSpec
+from repro.resilience.clock import TaskMeter, active_meter
+from repro.resilience.degrade import degraded_record
 from repro.measure.storage import (
     RawRecord,
-    TornRecordWarning,
     encode_record_line,
     iter_records,
     load_records,
     materialize_record,
     merge_record_spools,
+    note_torn_line,
     save_records,
     validate_record_payload,
 )
@@ -214,6 +217,18 @@ def campaign_plan(plan: "CrawlPlan") -> bool:
     output identical across backends and worker counts.
     """
     return bool(plan.context.get("multivantage"))
+
+
+def chaos_plan(plan: "CrawlPlan") -> bool:
+    """True when the plan carries a seeded chaos spec in its context.
+
+    Chaos runs always use the per-task visit-id regime: fault rolls
+    are keyed on ``(site, visit_id)``, so retries must replay the same
+    visit ids for consumed faults to stay consumed — that is what makes
+    the recoverable half of the differential oracle byte-identical.
+    """
+    chaos = plan.context.get("chaos")
+    return isinstance(chaos, dict) and chaos.get("seed") is not None
 
 
 class CheckpointMismatch(RuntimeError):
@@ -303,11 +318,53 @@ class RetryPolicy:
     came back ``reachable=False``; it defaults to off because the
     paper's methodology counts unreachable sites (and a retry consumes
     extra visit ids from the serial stream).
+
+    Backoff, jitter, and deadlines are paid on the **virtual clock**:
+    no real sleeping ever happens, yet the accounting is deterministic
+    (jitter derives from the task identity, never a live RNG) so the
+    same policy yields the same attempt schedule on every backend.
+    ``breaker_threshold``/``breaker_quarantine`` configure the
+    per-domain circuit breakers; ``None`` disables them.
     """
 
     max_attempts: int = 2
     retry_on: Tuple[type, ...] = (NetworkError,)
     retry_unreachable: bool = False
+    #: Exponential-backoff schedule (virtual seconds); base <= 0 means
+    #: no inter-attempt delay.
+    backoff_base: float = 0.5
+    backoff_factor: float = 2.0
+    backoff_max: float = 30.0
+    #: Deterministic jitter fraction in [0, 1]: each delay is scaled by
+    #: ``1 - jitter * roll`` where roll derives from the task identity.
+    jitter: float = 0.1
+    #: Virtual-seconds budget for one attempt (None = unlimited); the
+    #: clock raises TimeoutError when an attempt exceeds it.
+    attempt_deadline: Optional[float] = None
+    #: Virtual-seconds budget for one task across all attempts + backoff
+    #: (None = unlimited); breached budgets degrade to DeadlineExceeded.
+    task_deadline: Optional[float] = None
+    #: Open a domain's circuit after this many consecutive task
+    #: failures (None disables breakers entirely).
+    breaker_threshold: Optional[int] = None
+    #: How many tasks an open breaker skips before a half-open probe.
+    breaker_quarantine: int = 4
+
+    def backoff_delay(self, task: CrawlTask, attempt: int) -> float:
+        """The virtual-seconds delay before retrying *task*'s *attempt*."""
+        base = min(
+            self.backoff_base * self.backoff_factor ** (attempt - 1),
+            self.backoff_max,
+        )
+        if base <= 0.0:
+            return 0.0
+        if self.jitter <= 0.0:
+            return base
+        roll = derive_seed(
+            0, "backoff", task.vp, task.domain, task.mode, task.repeats,
+            attempt,
+        ) % 1_000_000 / 1_000_000.0
+        return base * (1.0 - self.jitter * roll)
 
 
 def _execute_task(
@@ -315,36 +372,66 @@ def _execute_task(
     task: CrawlTask,
     context: Optional[Dict],
     retry: RetryPolicy,
-    visit_ids,
+    id_streams,
     on_retry: Callable[[int, str], None],
+    clock=None,
 ) -> Tuple[Optional[object], Optional[str], int]:
     """Run one task under *retry*; returns ``(record, error, attempts)``.
 
     The single retry loop shared by the in-process engine and the
     process-backend workers, so both backends have identical retry
     semantics by construction.
+
+    *id_streams* is a zero-arg factory producing a fresh visit-id
+    stream (or ``None`` for the serial regime).  The stream is rebuilt
+    **per attempt** so a retried task replays the same visit ids — a
+    consumed chaos fault then stays consumed and the recovered attempt
+    is byte-identical to a fault-free run.
+
+    Exhausted retries and breached task deadlines never lose the task:
+    they return a deterministic degraded record alongside the error, so
+    every plan index lands in the merge exactly once.
     """
+    meter = TaskMeter(attempt_deadline=retry.attempt_deadline)
     attempts = 0
-    while True:
-        attempts += 1
-        try:
-            record = crawler.run_task(task, context, visit_ids=visit_ids)
-        except retry.retry_on as exc:
-            if attempts >= retry.max_attempts:
-                return None, type(exc).__name__, attempts
-            on_retry(attempts, type(exc).__name__)
-        else:
-            if (
-                retry.retry_unreachable
-                and task.mode == "detect"
-                and getattr(record, "reachable", True) is False
-                and attempts < retry.max_attempts
-            ):
-                on_retry(
-                    attempts, getattr(record, "error", None) or "unreachable"
-                )
-                continue
-            return record, None, attempts
+    with active_meter(meter):
+        while True:
+            attempts += 1
+            meter.begin_attempt()
+            visit_ids = id_streams() if id_streams is not None else None
+            try:
+                record = crawler.run_task(task, context, visit_ids=visit_ids)
+            except retry.retry_on as exc:
+                error = type(exc).__name__
+                if attempts >= retry.max_attempts:
+                    return degraded_record(task, error), error, attempts
+                delay = retry.backoff_delay(task, attempts)
+                if (
+                    retry.task_deadline is not None
+                    and meter.cost + delay > retry.task_deadline
+                ):
+                    return (
+                        degraded_record(task, "DeadlineExceeded"),
+                        "DeadlineExceeded",
+                        attempts,
+                    )
+                if clock is not None:
+                    clock.sleep(delay)
+                meter.charge(delay)
+                on_retry(attempts, error)
+            else:
+                if (
+                    retry.retry_unreachable
+                    and task.mode == "detect"
+                    and getattr(record, "reachable", True) is False
+                    and attempts < retry.max_attempts
+                ):
+                    on_retry(
+                        attempts,
+                        getattr(record, "error", None) or "unreachable",
+                    )
+                    continue
+                return record, None, attempts
 
 
 # ---------------------------------------------------------------------------
@@ -394,7 +481,7 @@ def _id_stream(base: int) -> Callable[[], int]:
     return lambda: derive_seed(base, next(counter))
 
 
-def _worker_world(world_key: Tuple, latency: float):
+def _worker_world(world_key: Tuple, latency: float, latency_mode: str = "virtual"):
     """The (cached or fork-inherited) world a worker process uses."""
     world = _SHARED_WORLDS.get(world_key) or _WORKER_WORLDS.get(world_key)
     if world is None:
@@ -408,6 +495,7 @@ def _worker_world(world_key: Tuple, latency: float):
             world, _ = evolve_world(world, months=evolution)
         _WORKER_WORLDS[world_key] = world
     world.network.latency = latency
+    world.network.latency_mode = latency_mode
     return world
 
 
@@ -425,17 +513,39 @@ def _run_shard_bundle(bundle: Dict) -> Dict:
     from repro.measure.crawl import Crawler
 
     shared = _WORKER_SHARED
+    world = _worker_world(
+        tuple(shared["world"]),
+        shared["latency"],
+        shared.get("latency_mode", "virtual"),
+    )
     crawler = Crawler(
-        _worker_world(tuple(shared["world"]), shared["latency"]),
+        world,
         bannerclick=shared["bannerclick"],
         language_detector=shared["language_detector"],
         ublock_lists=shared["ublock_lists"],
     )
     retry: RetryPolicy = shared["retry"]
     context = shared["context"]
+    chaos_ctx = (context or {}).get("chaos")
+    world.network.chaos = (
+        ChaosEngine(ChaosSpec.from_context(chaos_ctx)) if chaos_ctx else None
+    )
+    breakers: Dict[str, CircuitBreaker] = {}
+    if retry.breaker_threshold is not None:
+        snapshots = bundle.get("breakers") or {}
+        for entry in bundle["tasks"]:
+            domain = entry[2]
+            if domain not in breakers:
+                breakers[domain] = CircuitBreaker(
+                    domain,
+                    threshold=retry.breaker_threshold,
+                    quarantine=retry.breaker_quarantine,
+                    snapshot=snapshots.get(domain),
+                )
     kill_after = bundle.get("kill_after")
     outcomes: List[Dict] = []
     retries: List[Dict] = []
+    breaker_events: List[Dict] = []
     for position, (index, vp, domain, mode, repeats) in enumerate(
         bundle["tasks"]
     ):
@@ -445,15 +555,35 @@ def _run_shard_bundle(bundle: Dict) -> Dict:
             # FaultInjectingProcessExecutor).
             os.kill(os.getpid(), signal.SIGKILL)
         task = CrawlTask(vp=vp, domain=domain, mode=mode, repeats=repeats)
+        breaker = breakers.get(domain)
+        if breaker is not None and not breaker.allow():
+            outcomes.append({
+                "index": index,
+                "attempts": 0,
+                "error": "BreakerOpenError",
+                "record": encode_record_line(
+                    degraded_record(task, "BreakerOpenError")
+                ),
+            })
+            continue
         base = bundle["id_bases"].get(index)
-        visit_ids = _id_stream(base) if base is not None else None
+        id_streams = (
+            (lambda base=base: _id_stream(base)) if base is not None else None
+        )
         record, error, attempts = _execute_task(
-            crawler, task, context, retry, visit_ids,
+            crawler, task, context, retry, id_streams,
             lambda attempt, err: retries.append({
                 "index": index, "vp": vp, "domain": domain, "mode": mode,
                 "attempt": attempt, "error": err,
             }),
+            clock=world.network.clock,
         )
+        if breaker is not None:
+            transition = breaker.record(error is None)
+            if transition is not None:
+                breaker_events.append(
+                    {"domain": domain, "transition": transition}
+                )
         outcomes.append({
             "index": index,
             "attempts": attempts,
@@ -468,6 +598,10 @@ def _run_shard_bundle(bundle: Dict) -> Dict:
         "elapsed": time.perf_counter() - started,
         "outcomes": outcomes,
         "retries": retries,
+        "breakers": {
+            domain: breaker.snapshot() for domain, breaker in breakers.items()
+        },
+        "breaker_events": breaker_events,
     }
 
 
@@ -518,6 +652,9 @@ class _CheckpointScan:
     outcome_lines: int
     #: Unique plan indices with a checkpointed outcome.
     indices: Set[int]
+    #: Latest-wins circuit-breaker snapshots keyed by domain
+    #: (``{"kind": "breaker"}`` lines appended at shard flushes).
+    breakers: Dict[str, Dict] = field(default_factory=dict)
 
 
 def _scan_checkpoint(
@@ -542,6 +679,7 @@ def _scan_checkpoint(
     end = 0
     outcome_lines = 0
     indices: Set[int] = set()
+    breakers: Dict[str, Dict] = {}
     prev_index: Optional[int] = None
     #: A decode failure held back one line: only if another line
     #: follows is it corruption rather than a torn final write.
@@ -584,6 +722,12 @@ def _scan_checkpoint(
                 end = offset
                 continue
             if kind != "outcome":
+                if kind == "breaker" and isinstance(
+                    payload.get("domains"), dict
+                ):
+                    # Latest-wins by file order: a re-flushed shard's
+                    # newer snapshot overwrites the stale one.
+                    breakers.update(payload["domains"])
                 end = offset
                 continue
             index = payload.get("index")
@@ -601,12 +745,7 @@ def _scan_checkpoint(
             end = offset
     if pending is not None:
         bad_line, error = pending
-        warnings.warn(
-            f"{path}:{bad_line}: skipping torn trailing line "
-            f"(crashed writer? {error})",
-            TornRecordWarning,
-            stacklevel=2,
-        )
+        note_torn_line(path, bad_line, error)
     if header is None or header_line is None:
         raise CheckpointMismatch(f"{path}: not a crawl checkpoint (empty)")
     return _CheckpointScan(
@@ -616,7 +755,17 @@ def _scan_checkpoint(
         end=end,
         outcome_lines=outcome_lines,
         indices=indices,
+        breakers=breakers,
     )
+
+
+def _breaker_line(snapshots: Dict[str, Dict]) -> str:
+    """One ``{"kind": "breaker"}`` checkpoint line for *snapshots*."""
+    return json.dumps(
+        {"kind": "breaker", "domains": snapshots},
+        ensure_ascii=False,
+        sort_keys=True,
+    ) + "\n"
 
 
 def _iter_checkpoint_run(
@@ -684,6 +833,10 @@ class CheckpointReplay:
     #: Spool merge only: the index-sorted record replay file, if any
     #: completed outcome carried a record.
     resume_part: Optional[Path] = None
+    #: Circuit-breaker snapshots restored from the checkpoint, keyed
+    #: by domain — adopted into the engine's registry before execution
+    #: so quarantine survives a kill/resume.
+    breakers: Dict[str, Dict] = field(default_factory=dict)
 
     @property
     def count(self) -> int:
@@ -1098,6 +1251,12 @@ class CrawlEngine:
         self._progress_lock = threading.Lock()
         self._done = 0
         self._total = 0
+        #: Per-domain circuit breakers (populated in execute() when the
+        #: retry policy enables them; adopted from checkpoint replays).
+        self._breakers: Dict[str, CircuitBreaker] = {}
+        #: The crawler world's virtual clock, when it has one — retry
+        #: backoff is paid here instead of sleeping.
+        self._clock = None
 
     # ------------------------------------------------------------------
     @property
@@ -1133,7 +1292,9 @@ class CrawlEngine:
             world_seed=getattr(config, "seed", None),
             world_scale=getattr(config, "scale", None),
             world_evolution=getattr(world, "evolution_months", 0),
-            per_task_ids=self.per_task_ids or campaign_plan(plan),
+            per_task_ids=(
+                self.per_task_ids or campaign_plan(plan) or chaos_plan(plan)
+            ),
         )
 
     def execute(self, plan: CrawlPlan) -> EngineResult:
@@ -1160,6 +1321,21 @@ class CrawlEngine:
                 self._spool_partial = Path(f"{self.spool_path}.partial")
                 save_records([], self._spool_partial)
         replay = self._reconcile_checkpoint(plan)
+        self._breakers = {}
+        if self.retry.breaker_threshold is not None:
+            # Pre-created single-threaded: shard workers only ever look
+            # their domain's breaker up, never mutate the registry.
+            for task in plan.tasks:
+                if task.domain not in self._breakers:
+                    self._breakers[task.domain] = CircuitBreaker(
+                        task.domain,
+                        threshold=self.retry.breaker_threshold,
+                        quarantine=self.retry.breaker_quarantine,
+                    )
+            for domain, snapshot in replay.breakers.items():
+                breaker = self._breakers.get(domain)
+                if breaker is not None:
+                    breaker.adopt(snapshot)
         if replay.completed:
             sharded = [
                 [
@@ -1182,13 +1358,25 @@ class CrawlEngine:
                 "remaining": len(plan) - replay.count,
             })
         executor: Executor = self.executor or self._default_executor()
+        network = getattr(getattr(self.crawler, "world", None), "network", None)
+        self._clock = getattr(network, "clock", None)
+        chaos_ctx = plan.context.get("chaos")
+        installed_chaos = False
+        if network is not None and isinstance(chaos_ctx, dict):
+            network.chaos = ChaosEngine(ChaosSpec.from_context(chaos_ctx))
+            installed_chaos = True
         started = time.perf_counter()
-        if getattr(executor, "uses_processes", False):
-            outcomes = self._run_process_shards(executor, plan, sharded)
-        else:
-            outcomes = executor.run(sharded, lambda sid, items: self._run_shard(
-                plan, sid, items
-            ))
+        try:
+            if getattr(executor, "uses_processes", False):
+                outcomes = self._run_process_shards(executor, plan, sharded)
+            else:
+                outcomes = executor.run(
+                    sharded,
+                    lambda sid, items: self._run_shard(plan, sid, items),
+                )
+        finally:
+            if installed_chaos:
+                network.chaos = None
         elapsed = time.perf_counter() - started
         self._emit_process_throughput()
         if self.merge == "spool":
@@ -1300,6 +1488,7 @@ class CrawlEngine:
         shared = {
             "world": world_key,
             "latency": getattr(world.network, "latency", 0.0),
+            "latency_mode": getattr(world.network, "latency_mode", "virtual"),
             "bannerclick": self.crawler.bannerclick,
             "language_detector": self.crawler._lang,
             "ublock_lists": self.crawler.ublock_lists,
@@ -1310,6 +1499,11 @@ class CrawlEngine:
         for shard_id, items in enumerate(sharded):
             if not items:
                 continue
+            shard_breakers: Dict[str, Dict] = {}
+            for _, task in items:
+                breaker = self._breakers.get(task.domain)
+                if breaker is not None and task.domain not in shard_breakers:
+                    shard_breakers[task.domain] = breaker.snapshot()
             bundle = {
                 "shard": shard_id,
                 "tasks": [
@@ -1320,6 +1514,7 @@ class CrawlEngine:
                     index: _task_id_base(config.seed, task)
                     for index, task in items
                 },
+                "breakers": shard_breakers,
             }
             bundle.update(executor.bundle_overrides(shard_id, len(items)))
             bundles.append(bundle)
@@ -1370,6 +1565,30 @@ class CrawlEngine:
             )
             for entry in payload["outcomes"]
         ]
+        # Adopt the worker-final breaker states *before* the shard
+        # flush, so the checkpoint's breaker line reflects them.
+        for domain, snapshot in payload.get("breakers", {}).items():
+            breaker = self._breakers.get(domain)
+            if breaker is not None:
+                breaker.adopt(snapshot)
+        for event in payload.get("breaker_events", []):
+            self._emit(
+                f"breaker-{event['transition']}",
+                f"engine://breaker/{event['domain']}",
+                {"domain": event["domain"]},
+            )
+        for outcome in outcomes:
+            if outcome.error is not None:
+                self._emit(
+                    "task-degraded",
+                    f"engine://task/{outcome.index}",
+                    {
+                        "index": outcome.index,
+                        "domain": outcome.task.domain,
+                        "error": outcome.error,
+                        "attempts": outcome.attempts,
+                    },
+                )
         kept = self._finish_shard(
             payload["shard"], outcomes, payload["elapsed"], pid=pid
         )
@@ -1512,7 +1731,9 @@ class CrawlEngine:
                 f"{path}: corrupt checkpoint ({error}); "
                 "refusing to resume — rerun without resume to start over"
             ) from error
-        replay = CheckpointReplay(completed=scan.indices)
+        replay = CheckpointReplay(
+            completed=scan.indices, breakers=dict(scan.breakers)
+        )
         spooled = self.merge == "spool" and self.spool_path is not None
         resume_part = (
             Path(f"{self.spool_path}.resume.part") if spooled else None
@@ -1522,6 +1743,10 @@ class CrawlEngine:
         try:
             with tmp.open("w", encoding="utf-8") as handle:
                 handle.write(self._checkpoint_header(fingerprint, len(plan)))
+                if scan.breakers:
+                    # Consolidate the per-flush breaker lines into one
+                    # (latest-wins already applied by the scan).
+                    handle.write(_breaker_line(scan.breakers))
                 for index, payload, line in _merge_checkpoint_runs(
                     path, scan
                 ):
@@ -1566,6 +1791,18 @@ class CrawlEngine:
             replay.resume_part = resume_part
         return replay
 
+    def _breaker_snapshot_for(
+        self, outcomes: List[TaskOutcome]
+    ) -> Dict[str, Dict]:
+        """Current breaker snapshots for the domains in *outcomes*."""
+        snapshots: Dict[str, Dict] = {}
+        for outcome in outcomes:
+            domain = outcome.task.domain
+            breaker = self._breakers.get(domain)
+            if breaker is not None and domain not in snapshots:
+                snapshots[domain] = breaker.snapshot()
+        return snapshots
+
     @staticmethod
     def _outcome_line(outcome: TaskOutcome) -> str:
         head = {
@@ -1588,10 +1825,19 @@ class CrawlEngine:
         )
 
     def _checkpoint_outcomes(self, outcomes: List[TaskOutcome]) -> None:
-        """Append one finished shard's outcomes (caller holds the lock)."""
+        """Append one finished shard's outcomes (caller holds the lock).
+
+        When breakers are enabled the flush also appends a snapshot of
+        this shard's breaker states; the scan applies them latest-wins,
+        so a resume restores each domain's quarantine where it stood at
+        the last completed flush.
+        """
         with self.checkpoint_path.open("a", encoding="utf-8") as handle:
             for outcome in outcomes:
                 handle.write(self._outcome_line(outcome))
+            snapshots = self._breaker_snapshot_for(outcomes)
+            if snapshots:
+                handle.write(_breaker_line(snapshots))
             handle.flush()
 
     @staticmethod
@@ -1632,6 +1878,8 @@ class CrawlEngine:
             # The header survives verbatim (same fingerprint, still
             # resumable).
             handle.write(scan.header_line + "\n")
+            if scan.breakers:
+                handle.write(_breaker_line(scan.breakers))
             for _, _, line in _merge_checkpoint_runs(path, scan):
                 handle.write(line + "\n")
                 kept += 1
@@ -1651,10 +1899,46 @@ class CrawlEngine:
         items: List[Tuple[int, CrawlTask]],
     ) -> List[TaskOutcome]:
         started = time.perf_counter()
-        outcomes = [self._run_one(plan, index, task) for index, task in items]
+        outcomes: List[TaskOutcome] = []
+        for index, task in items:
+            breaker = self._breakers.get(task.domain)
+            if breaker is not None and not breaker.allow():
+                # Quarantined domain: skip the task deterministically,
+                # recording a degraded outcome so no plan index is lost.
+                outcome = TaskOutcome(
+                    index,
+                    task,
+                    record=degraded_record(task, "BreakerOpenError"),
+                    error="BreakerOpenError",
+                    attempts=0,
+                )
+                self._emit_degraded(outcome)
+                self._advance(task)
+                outcomes.append(outcome)
+                continue
+            outcome = self._run_one(plan, index, task)
+            if breaker is not None:
+                transition = breaker.record(outcome.error is None)
+                if transition is not None:
+                    self._emit(
+                        f"breaker-{transition}",
+                        f"engine://breaker/{task.domain}",
+                        {"domain": task.domain},
+                    )
+            if outcome.error is not None:
+                self._emit_degraded(outcome)
+            outcomes.append(outcome)
         return self._finish_shard(
             shard_id, outcomes, time.perf_counter() - started
         )
+
+    def _emit_degraded(self, outcome: TaskOutcome) -> None:
+        self._emit("task-degraded", f"engine://task/{outcome.index}", {
+            "index": outcome.index,
+            "domain": outcome.task.domain,
+            "error": outcome.error,
+            "attempts": outcome.attempts,
+        })
 
     def _finish_shard(
         self,
@@ -1710,11 +1994,19 @@ class CrawlEngine:
         return outcomes
 
     def _run_one(self, plan: CrawlPlan, index: int, task: CrawlTask) -> TaskOutcome:
-        per_task = self.per_task_ids or campaign_plan(plan)
-        visit_ids = self._task_id_stream(task) if per_task else None
+        per_task = (
+            self.per_task_ids or campaign_plan(plan) or chaos_plan(plan)
+        )
+        # A zero-arg factory: _execute_task rebuilds the stream per
+        # attempt so retries replay the same visit ids (chaos faults
+        # consumed on attempt 1 stay consumed on attempt 2).
+        id_streams = (
+            (lambda: self._task_id_stream(task)) if per_task else None
+        )
         record, error, attempts = _execute_task(
-            self.crawler, task, plan.context, self.retry, visit_ids,
+            self.crawler, task, plan.context, self.retry, id_streams,
             lambda attempt, err: self._emit_retry(index, task, attempt, err),
+            clock=self._clock,
         )
         self._advance(task)
         return TaskOutcome(

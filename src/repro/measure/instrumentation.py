@@ -29,6 +29,11 @@ EVENT_KINDS = (
     "plan",
     "shard",
     "task-retry",
+    # Resilience plane: a task degraded to a partial record, and
+    # per-domain circuit-breaker transitions.
+    "task-degraded",
+    "breaker-open",
+    "breaker-close",
     "progress",
     "throughput",
     "process-throughput",

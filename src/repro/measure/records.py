@@ -67,6 +67,7 @@ class UBlockRecord:
     suppressed: bool = False      # wall never displayed (≥1 visit loaded)
     broken: bool = False          # anti-adblock prompt / unscrollable
     broken_reason: str = ""
+    error: Optional[str] = None   # engine-level degradation taxonomy
 
     def to_dict(self) -> Dict:
         return asdict(self)

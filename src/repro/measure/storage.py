@@ -73,6 +73,34 @@ def record_decode_count() -> int:
     return _DECODE_CALLS
 
 
+#: Torn trailing lines skipped by :func:`iter_jsonl` in this process.
+#: The chaos suite snapshots it around a merge/resume to assert a torn
+#: spool or checkpoint was *tolerated* (not silently absent).
+_TORN_LINES = 0
+
+
+def torn_line_count() -> int:
+    """How many torn trailing JSONL lines this process has skipped."""
+    return _TORN_LINES
+
+
+def note_torn_line(path, bad_line: int, error: Exception) -> None:
+    """Count and warn about one skipped torn trailing line.
+
+    The single funnel every torn-tolerant reader (spool, checkpoint
+    scan) reports through, so :func:`torn_line_count` observes all of
+    them.
+    """
+    global _TORN_LINES
+    _TORN_LINES += 1
+    warnings.warn(
+        f"{path}:{bad_line}: skipping torn trailing line "
+        f"(crashed writer? {error})",
+        TornRecordWarning,
+        stacklevel=3,
+    )
+
+
 def validate_record_payload(payload) -> None:
     """Structurally check an :func:`encode_record` payload *without*
     building the record.
@@ -215,12 +243,7 @@ def iter_jsonl(path: Union[str, Path]) -> Iterator[Tuple[int, Dict]]:
             yield line_number, payload
     if pending is not None:
         bad_line, error = pending
-        warnings.warn(
-            f"{path}:{bad_line}: skipping torn trailing line "
-            f"(crashed writer? {error})",
-            TornRecordWarning,
-            stacklevel=2,
-        )
+        note_torn_line(path, bad_line, error)
 
 
 def iter_records(path: Union[str, Path]) -> Iterator:

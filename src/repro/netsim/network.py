@@ -6,11 +6,13 @@ import itertools
 import threading
 import time
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.errors import ConnectionRefused, DNSError
 from repro.httpkit import Request, Response
 from repro.netsim.server import OriginServer
+from repro.resilience.chaos import ChaosEngine
+from repro.resilience.clock import VirtualClock, spend
 from repro.urlkit import registrable_domain
 from repro.vantage import VantagePoint
 
@@ -53,6 +55,16 @@ class Network:
         #: crawls, where the parallel crawl engine's thread workers
         #: overlap the waiting.
         self.latency = 0.0
+        #: How latency is paid: ``"virtual"`` (default) advances the
+        #: virtual clock — deterministic, finishes in microseconds —
+        #: while ``"real"`` blocks in ``time.sleep`` for benchmarks
+        #: that measure genuine wall-clock overlap.
+        self.latency_mode = "virtual"
+        #: Virtual time spent on this network (latency, chaos spikes,
+        #: retry backoff all accrue here instead of sleeping).
+        self.clock = VirtualClock()
+        #: Installed chaos plane, or None (the fault-free default).
+        self.chaos: Optional[ChaosEngine] = None
 
     # ------------------------------------------------------------------
     # Registration
@@ -99,10 +111,25 @@ class Network:
         return server
 
     def fetch(self, request: Request, visitor: VisitorContext) -> Response:
-        """Route *request* to its origin server and return the response."""
-        if self.latency > 0.0:
-            time.sleep(self.latency)
-        server = self.resolve(request.url.host)
+        """Route *request* to its origin server and return the response.
+
+        Pays the configured latency (plus any chaos latency spike) on
+        the virtual clock — which also enforces the active task's
+        attempt deadline — then gives the chaos plane its chance to
+        inject a fault before the request reaches an origin server.
+        """
+        host = request.url.host
+        chaos = self.chaos
+        cost = self.latency
+        if cost > 0.0 and self.latency_mode == "real":
+            time.sleep(cost)
+            cost = 0.0
+        if chaos is not None:
+            cost += chaos.latency_spike(host, visitor.visit_id)
+        spend(self.clock, cost)
+        if chaos is not None:
+            chaos.inject(host, visitor.visit_id)
+        server = self.resolve(host)
         with self._stats_lock:
             self.request_count += 1
         return server.handle(request, visitor)

@@ -1,0 +1,45 @@
+"""Graceful degradation: deterministic partial records for dead tasks.
+
+When a task exhausts its retry budget (or a circuit breaker
+short-circuits it), the engine must not silently drop it: the merged
+output would drift from the plan size and downstream per-domain
+analysis would mistake "failed" for "absent".  Instead the engine
+emits a *degraded* record — the mode-appropriate record type with the
+structured error name from :mod:`repro.errors` — so record counts
+always match the plan and failure modes stay countable per VP, mode,
+and wave.
+
+Degraded records are pure functions of ``(task, error)``: no
+timestamps, no attempt-local state — the same fault regime yields the
+same bytes on every backend and across kill/resume.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.measure.records import CookieMeasurement, UBlockRecord, VisitRecord
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.measure.engine import CrawlTask
+
+#: Cookie-measurement modes (share one record shape).
+_COOKIE_MODES = ("accept", "reject", "subscription")
+
+
+def degraded_record(task: "CrawlTask", error: str):
+    """Build the deterministic partial record for a failed *task*."""
+    if task.mode == "detect":
+        record = VisitRecord(
+            vp=task.vp, domain=task.domain, reachable=False, error=error,
+        )
+        record.flags["degraded"] = True
+        return record
+    if task.mode in _COOKIE_MODES:
+        return CookieMeasurement(
+            vp=task.vp, domain=task.domain, mode=task.mode,
+            repeats=0, error=error,
+        )
+    if task.mode == "ublock":
+        return UBlockRecord(domain=task.domain, error=error)
+    raise ValueError(f"cannot degrade unknown task mode {task.mode!r}")

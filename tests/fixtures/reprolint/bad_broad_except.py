@@ -1,0 +1,23 @@
+# lint-as: src/repro/measure/fixture_worker.py
+# expect: broad-except
+"""A worker loop that eats arbitrary faults: the silent-task-loss bug."""
+
+
+def run_tasks(tasks, run_one):
+    outcomes = []
+    for task in tasks:
+        try:
+            outcomes.append(run_one(task))
+        except Exception:
+            # The fault vanishes: no retry, no degraded record, no
+            # taxonomy entry — the merge just comes up one task short.
+            continue
+    return outcomes
+
+
+def drain(queue):
+    while True:
+        try:
+            queue.pop()
+        except:  # noqa: E722
+            break

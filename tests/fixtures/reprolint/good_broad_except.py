@@ -1,0 +1,31 @@
+# lint-as: src/repro/measure/fixture_worker_ok.py
+# expect: clean
+"""Near-misses: broad handlers that propagate or record the fault."""
+
+
+def run_tasks(tasks, run_one, degraded_record):
+    outcomes = []
+    for task in tasks:
+        try:
+            outcomes.append(run_one(task))
+        except Exception as exc:
+            # The fault becomes a deterministic partial record carrying
+            # its taxonomy name — nothing is lost from the merge.
+            outcomes.append(degraded_record(task, type(exc).__name__))
+    return outcomes
+
+
+def guarded(fn):
+    try:
+        return fn()
+    except Exception:
+        # Re-raising keeps the fault on the retry layer's path.
+        raise
+
+
+def narrow(fetch, request):
+    try:
+        return fetch(request)
+    except ValueError:
+        # Narrow types are out of scope for the rule entirely.
+        return None

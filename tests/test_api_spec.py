@@ -55,7 +55,10 @@ class TestRoundTrip:
 
     def test_to_dict_omits_inactive_workloads(self):
         payload = RunSpec(kind="crawl").to_dict()
-        assert set(payload) == {"kind", "world", "engine", "crawl", "output"}
+        assert set(payload) == {
+            "kind", "world", "engine", "resilience", "chaos", "crawl",
+            "output",
+        }
 
     def test_save_load_round_trip(self, tmp_path):
         spec = specs_of_every_kind()[0]

@@ -26,7 +26,7 @@ GUARDED = ("crawl", "measure", "longitudinal", "multivantage")
 #: the README's common list rather than per subcommand.
 COMMON = {
     "--scale", "--seed", "--workers", "--shards", "--executor", "--merge",
-    "--resume", "--config",
+    "--resume", "--chaos-seed", "--deadline", "--breaker", "--config",
 }
 
 
@@ -191,6 +191,33 @@ def test_readme_documents_multivantage_campaigns():
         if "--product" in action.option_strings
     )
     assert "discrepancy" in product.choices
+
+
+def test_readme_documents_resilience():
+    """The resilience surface must stay documented: the section naming
+    the chaos plane, the virtual clock, breakers, degradation, the
+    differential oracle, and the BENCH_chaos floors is what the
+    chaos-matrix CI job and tests/test_chaos.py enforce."""
+    text = README.read_text(encoding="utf-8")
+    match = re.search(
+        r"^## Resilience & chaos testing\n(.*?)(?=^## )", text,
+        re.DOTALL | re.MULTILINE,
+    )
+    assert match, (
+        "README.md lost its '## Resilience & chaos testing' section"
+    )
+    section = match.group(1)
+    for anchor in (
+        "ChaosSpec", "ResilienceSpec", "--chaos-seed", "--deadline",
+        "--breaker", "Virtual clock", "BreakerOpenError",
+        "StreamingFailureTaxonomy", "byte-identical",
+        "tear_trailing_line", "BENCH_chaos.json", "chaos-matrix",
+        "test_chaos.py",
+    ):
+        assert anchor in section, (
+            f"README 'Resilience & chaos testing' section no longer "
+            f"mentions {anchor}"
+        )
 
 
 def test_readme_documents_static_analysis():

@@ -199,7 +199,13 @@ class TestRetryPolicy:
         result = engine.execute(plan)
         assert len(result.failures) == 2
         assert all(o.error == "NetworkError" for o in result.failures)
-        assert result.records == []
+        # Exhausted tasks degrade instead of vanishing: every plan
+        # index still yields a (partial, flagged) record in the merge.
+        assert len(result.records) == 2
+        for record in result.records:
+            assert record.flags.get("degraded") is True
+            assert record.error == "NetworkError"
+            assert not record.reachable
 
     def test_retry_unreachable_detection_visits(self, medium_world):
         dead = next(
@@ -380,8 +386,14 @@ class TestSpoolMerge:
         assert len(result.failures) == len(dead)
         assert [o.task.domain for o in result.failures] == dead
         assert all(o.error == "NetworkError" for o in result.failures)
-        assert result.record_count == len(targets) - len(dead)
-        assert len(list(iter_records(out))) == len(targets) - len(dead)
+        # Failed tasks degrade to partial records, so the spool holds
+        # one record per plan index — the failure list is the in-memory
+        # side channel, not the only trace of the task.
+        assert result.record_count == len(targets)
+        spooled = list(iter_records(out))
+        assert len(spooled) == len(targets)
+        degraded = [r for r in spooled if r.flags.get("degraded")]
+        assert sorted(r.domain for r in degraded) == sorted(dead)
 
     def test_stale_parts_from_crashed_run_are_ignored(
         self, tmp_path, medium_world, medium_crawler

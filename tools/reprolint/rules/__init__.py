@@ -10,6 +10,7 @@ from tools.reprolint.rules.determinism import (
 )
 from tools.reprolint.rules.locking import UnlockedMutationRule
 from tools.reprolint.rules.pickle_safety import BundlePickleSafetyRule
+from tools.reprolint.rules.robustness import BroadExceptRule
 from tools.reprolint.rules.streaming import MaterializedRecordsRule
 
 
@@ -22,6 +23,7 @@ def all_rules() -> List[Rule]:
         MaterializedRecordsRule(),
         BundlePickleSafetyRule(),
         UnlockedMutationRule(),
+        BroadExceptRule(),
     ]
 
 

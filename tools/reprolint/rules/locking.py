@@ -29,6 +29,7 @@ WORKER_SCOPES: Tuple[str, ...] = (
     "src/repro/adblock/",
     "src/repro/soup/",
     "src/repro/netsim/",
+    "src/repro/resilience/",
     "src/repro/lru.py",
 )
 

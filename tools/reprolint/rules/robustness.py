@@ -1,0 +1,99 @@
+"""Robustness discipline: faults may be caught, never silently eaten.
+
+The resilience plane's whole contract is that every fault leaves a
+trace — a retry, a degraded record carrying the error name, a breaker
+transition.  One ``except Exception: pass`` on an engine or worker
+code path voids that contract invisibly: the task "succeeds", the
+differential oracle can no longer tell a recovered run from a corrupted
+one, and the failure-taxonomy table under-counts.  The rule flags
+broad handlers (``except Exception``/``BaseException``/bare) in
+worker-path modules unless the handler visibly propagates the fault:
+re-raising, or referencing the bound exception so its identity can
+reach a record or log.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Tuple
+
+from tools.reprolint.core import Finding, Rule, SourceFile
+
+#: Modules on the engine/worker fault path: a swallowed exception here
+#: silently drops a task or corrupts the differential oracle.
+ENGINE_SCOPES: Tuple[str, ...] = (
+    "src/repro/measure/",
+    "src/repro/resilience/",
+    "src/repro/netsim/",
+    "src/repro/browser/",
+)
+
+_BROAD = {"Exception", "BaseException"}
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:
+        return True
+    types = (
+        handler.type.elts
+        if isinstance(handler.type, ast.Tuple)
+        else [handler.type]
+    )
+    for node in types:
+        name = node.attr if isinstance(node, ast.Attribute) else (
+            node.id if isinstance(node, ast.Name) else ""
+        )
+        if name in _BROAD:
+            return True
+    return False
+
+
+def _propagates(handler: ast.ExceptHandler) -> bool:
+    """True when the handler re-raises or uses the caught exception."""
+    for sub in ast.walk(ast.Module(body=handler.body, type_ignores=[])):
+        if isinstance(sub, ast.Raise):
+            return True
+        if (
+            handler.name is not None
+            and isinstance(sub, ast.Name)
+            and sub.id == handler.name
+        ):
+            return True
+    return False
+
+
+class BroadExceptRule(Rule):
+    name = "broad-except"
+    summary = "worker-path handlers must not swallow faults traceless"
+    explanation = """\
+On engine and worker code paths (``measure/``, ``resilience/``,
+``netsim/``, ``browser/``) a broad handler — ``except Exception``,
+``except BaseException``, or a bare ``except:`` — must either re-raise
+or reference the exception it bound (``except Exception as exc: ...``
+feeding ``exc`` into a record, event, or log).  A handler that does
+neither converts an arbitrary fault into silent success: the task is
+lost from the failure taxonomy, retries and breakers never see it, and
+the chaos differential oracle reports byte-identity for a run that in
+fact broke.  Catch the narrow error type, or carry the fault into the
+degraded-record path (`repro.resilience.degrade`).
+"""
+
+    def applies_to(self, rel: str) -> bool:
+        return rel.startswith(ENGINE_SCOPES)
+
+    def check(self, src: SourceFile) -> Iterator[Finding]:
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if _is_broad(node) and not _propagates(node):
+                what = (
+                    "bare except" if node.type is None
+                    else "except Exception"
+                )
+                yield src.finding(
+                    self.name,
+                    node,
+                    f"{what} swallows the fault without re-raising or "
+                    "recording it; catch the narrow type or route the "
+                    "error into the degraded-record taxonomy",
+                )
