@@ -21,6 +21,7 @@ from repro.api.spec import (
     MEASURE_MODES,
     MERGE_MODES,
     RUN_KINDS,
+    SPEC_SCHEMA_VERSION,
     ChaosSpec,
     CrawlSpec,
     EngineSpec,
@@ -31,7 +32,10 @@ from repro.api.spec import (
     ResilienceSpec,
     RunSpec,
     SpecError,
+    SpecVersionError,
     WorldSpec,
+    migrate_spec_payload,
+    spec_migration,
 )
 
 __all__ = [
@@ -51,9 +55,13 @@ __all__ = [
     "RunFailure",
     "RunResult",
     "RunSpec",
+    "SPEC_SCHEMA_VERSION",
     "Session",
     "SpecError",
+    "SpecVersionError",
     "WorldSpec",
     "iter_run_records",
+    "migrate_spec_payload",
     "run",
+    "spec_migration",
 ]

@@ -59,6 +59,47 @@ from repro.webgen.world import World, build_world
 ProgressHook = Callable[[int, int, object], None]
 
 
+@dataclasses.dataclass
+class _Wave:
+    """One wave of a campaign, as produced by ``Session._execute_waves``.
+
+    Exactly one of ``replayed`` (records restored from a completed
+    wave's checkpoint under resume) and ``result`` (a live engine run)
+    is set.
+    """
+
+    month: int
+    world: World
+    summary: Optional[object]
+    spool_path: Optional[Path]
+    replayed: Optional[list] = None
+    result: Optional[EngineResult] = None
+
+
+@dataclasses.dataclass
+class _CampaignTally:
+    """Accumulates the cross-wave totals a campaign RunResult reports."""
+
+    failures: list = dataclasses.field(default_factory=list)
+    elapsed: float = 0.0
+    executed: int = 0
+    resumed: int = 0
+    record_count: int = 0
+
+    def replay(self, count: int) -> None:
+        self.resumed += count
+        self.record_count += count
+
+    def absorb(self, result: EngineResult, month: int, failure) -> None:
+        self.failures.extend(
+            failure(outcome, wave=month) for outcome in result.failures
+        )
+        self.elapsed += result.elapsed
+        self.executed += result.executed
+        self.resumed += result.resumed
+        self.record_count += result.record_count
+
+
 class Session:
     """Owns world construction, engine wiring, spooling, checkpointing.
 
@@ -279,6 +320,64 @@ class Session:
     # ------------------------------------------------------------------
     # Campaigns
     # ------------------------------------------------------------------
+    def _execute_waves(
+        self,
+        kind: str,
+        months,
+        build_plan: Callable[[Crawler, int], CrawlPlan],
+        output: OutputSpec,
+        progress: Optional[ProgressHook],
+    ):
+        """The shared wave loop behind the campaign kinds.
+
+        Yields one :class:`_Wave` per month: the world is evolved from
+        the baseline snapshot, *build_plan* compiles the wave's plan,
+        the spool/checkpoint paths are derived under ``out_dir``, a
+        completed wave is replayed from its checkpoint under resume,
+        and everything else runs through :meth:`execute` — so every
+        campaign shards, retries, spools, and resumes identically, and
+        there is exactly one place that derives wave paths.
+        """
+        out_dir = Path(output.out_dir) if output.out_dir else None
+        if self.engine_spec.resume and out_dir is None:
+            raise SpecError(
+                f"{kind} resume requires out_dir (the wave "
+                "checkpoints live next to the spools)"
+            )
+        base_world = self.world
+        for month in months:
+            if month == 0:
+                wave_world, summary = base_world, None
+            else:
+                wave_world, summary = evolve_world(base_world, months=month)
+            crawler = Crawler(wave_world)
+            plan = build_plan(crawler, month)
+            spool_path = checkpoint_path = None
+            if out_dir is not None:
+                spool_path = out_dir / f"wave-{month:02d}.jsonl"
+                if self.engine_spec.checkpoint:
+                    checkpoint_path = Path(f"{spool_path}.checkpoint")
+            if self.engine_spec.resume:
+                replayed = reload_completed_wave(
+                    spool_path, checkpoint_path, plan
+                )
+                if replayed is not None:
+                    yield _Wave(
+                        month, wave_world, summary, spool_path,
+                        replayed=replayed,
+                    )
+                    continue
+            result = self.execute(
+                plan,
+                spool_path=spool_path,
+                checkpoint_path=checkpoint_path,
+                crawler=crawler,
+                progress=progress,
+            )
+            yield _Wave(
+                month, wave_world, summary, spool_path, result=result
+            )
+
     def crawl(
         self,
         spec: Optional[CrawlSpec] = None,
@@ -369,79 +468,52 @@ class Session:
         spec = spec if spec is not None else LongitudinalSpec()
         spec.validate()
         output = output if output is not None else OutputSpec()
-        out_dir = Path(output.out_dir) if output.out_dir else None
-        if self.engine_spec.resume and out_dir is None:
-            raise SpecError(
-                "longitudinal resume requires out_dir (the wave "
-                "checkpoints live next to the spools)"
-            )
-        base_world = self.world
         targets = (
             list(spec.domains) if spec.domains is not None
-            else list(base_world.crawl_targets)
+            else list(self.world.crawl_targets)
         )
         run = LongitudinalRun(vp=spec.vp)
         spool_paths = []
-        failures = []
-        elapsed = 0.0
-        executed = 0
-        resumed = 0
-        for month in spec.months:
-            if month == 0:
-                wave_world, summary = base_world, None
-            else:
-                wave_world, summary = evolve_world(base_world, months=month)
-            crawler = Crawler(wave_world)
-            plan = crawler.plan_detection_crawl([spec.vp], targets)
-            spool_path = checkpoint_path = None
-            if out_dir is not None:
-                spool_path = out_dir / f"wave-{month:02d}.jsonl"
-                spool_paths.append(spool_path)
-                if self.engine_spec.checkpoint:
-                    checkpoint_path = Path(f"{spool_path}.checkpoint")
-            if self.engine_spec.resume:
-                replayed = reload_completed_wave(
-                    spool_path, checkpoint_path, plan
-                )
-                if replayed is not None:
-                    run.waves.append(LongitudinalWave(
-                        months=month,
-                        world=wave_world,
-                        crawl=CrawlResult(records=replayed),
-                        summary=summary,
-                        resumed=len(replayed),
-                    ))
-                    resumed += len(replayed)
-                    continue
-            result = self.execute(
-                plan,
-                spool_path=spool_path,
-                checkpoint_path=checkpoint_path,
-                crawler=crawler,
-                progress=progress,
-            )
+        tally = _CampaignTally()
+        waves = self._execute_waves(
+            "longitudinal",
+            spec.months,
+            lambda crawler, month: crawler.plan_detection_crawl(
+                [spec.vp], targets
+            ),
+            output,
+            progress,
+        )
+        for wave in waves:
+            if wave.spool_path is not None:
+                spool_paths.append(wave.spool_path)
+            if wave.replayed is not None:
+                run.waves.append(LongitudinalWave(
+                    months=wave.month,
+                    world=wave.world,
+                    crawl=CrawlResult(records=wave.replayed),
+                    summary=wave.summary,
+                    resumed=len(wave.replayed),
+                ))
+                tally.replay(len(wave.replayed))
+                continue
             run.waves.append(LongitudinalWave(
-                months=month,
-                world=wave_world,
-                crawl=CrawlResult(records=result.records),
-                summary=summary,
-                resumed=result.resumed,
+                months=wave.month,
+                world=wave.world,
+                crawl=CrawlResult(records=wave.result.records),
+                summary=wave.summary,
+                resumed=wave.result.resumed,
             ))
-            failures.extend(
-                self._failure(o, wave=month) for o in result.failures
-            )
-            elapsed += result.elapsed
-            executed += result.executed
-            resumed += result.resumed
+            tally.absorb(wave.result, wave.month, self._failure)
         records = [r for wave in run.waves for r in wave.crawl.records]
         return RunResult(
             self._spec("longitudinal", {"longitudinal": spec}, output),
             records=records,
             spool_paths=spool_paths,
-            failures=failures,
-            elapsed=elapsed,
-            executed=executed,
-            resumed=resumed,
+            failures=tally.failures,
+            elapsed=tally.elapsed,
+            executed=tally.executed,
+            resumed=tally.resumed,
             record_count=len(records),
             campaign=run,
             extra={"waves": [
@@ -488,96 +560,65 @@ class Session:
         spec = spec if spec is not None else MultiVantageSpec()
         spec.validate()
         output = output if output is not None else OutputSpec()
-        out_dir = Path(output.out_dir) if output.out_dir else None
-        if self.engine_spec.resume and out_dir is None:
-            raise SpecError(
-                "multivantage resume requires out_dir (the wave "
-                "checkpoints live next to the spools)"
-            )
         scenario = spec.scenario()
-        base_world = self.world
         vps = [
             get_vantage_point(code).code
             for code in (spec.vps if spec.vps is not None else VP_ORDER)
         ]
         targets = (
             list(spec.domains) if spec.domains is not None
-            else list(base_world.crawl_targets)
+            else list(self.world.crawl_targets)
         )
         report = StreamingDiscrepancyReport()
         run = MultiVantageRun(vps=tuple(vps), regime=spec.regime, report=report)
-        materialise = out_dir is None
+        materialise = not output.out_dir
         all_records = [] if materialise else None
         spool_paths = []
-        failures = []
-        elapsed = 0.0
-        executed = 0
-        resumed = 0
-        record_count = 0
-        for month in spec.months:
-            if month == 0:
-                wave_world = base_world
-            else:
-                wave_world, _ = evolve_world(base_world, months=month)
-            crawler = Crawler(wave_world)
+        tally = _CampaignTally()
+
+        def build_plan(crawler: Crawler, month: int) -> CrawlPlan:
             plan = crawler.plan_detection_crawl(vps, targets)
             plan.context["multivantage"] = {
                 "wave": month,
                 "scenario": scenario.to_context(),
             }
-            spool_path = checkpoint_path = None
-            if out_dir is not None:
-                spool_path = out_dir / f"wave-{month:02d}.jsonl"
-                spool_paths.append(spool_path)
-                if self.engine_spec.checkpoint:
-                    checkpoint_path = Path(f"{spool_path}.checkpoint")
-            if self.engine_spec.resume:
-                replayed = reload_completed_wave(
-                    spool_path, checkpoint_path, plan
-                )
-                if replayed is not None:
-                    for record in replayed:
-                        report.add(record, wave=month)
-                    run.waves.append(MultiVantageWave(
-                        months=month,
-                        visits=len(replayed),
-                        resumed=len(replayed),
-                    ))
-                    resumed += len(replayed)
-                    record_count += len(replayed)
-                    continue
-            result = self.execute(
-                plan,
-                spool_path=spool_path,
-                checkpoint_path=checkpoint_path,
-                crawler=crawler,
-                progress=progress,
-            )
+            return plan
+
+        waves = self._execute_waves(
+            "multivantage", spec.months, build_plan, output, progress
+        )
+        for wave in waves:
+            if wave.spool_path is not None:
+                spool_paths.append(wave.spool_path)
+            if wave.replayed is not None:
+                for record in wave.replayed:
+                    report.add(record, wave=wave.month)
+                run.waves.append(MultiVantageWave(
+                    months=wave.month,
+                    visits=len(wave.replayed),
+                    resumed=len(wave.replayed),
+                ))
+                tally.replay(len(wave.replayed))
+                continue
             visits = 0
-            for record in result.iter_records():
-                report.add(record, wave=month)
+            for record in wave.result.iter_records():
+                report.add(record, wave=wave.month)
                 visits += 1
                 if materialise:
                     all_records.append(record)
             run.waves.append(MultiVantageWave(
-                months=month, visits=visits, resumed=result.resumed,
+                months=wave.month, visits=visits, resumed=wave.result.resumed,
             ))
-            failures.extend(
-                self._failure(o, wave=month) for o in result.failures
-            )
-            elapsed += result.elapsed
-            executed += result.executed
-            resumed += result.resumed
-            record_count += result.record_count
+            tally.absorb(wave.result, wave.month, self._failure)
         return RunResult(
             self._spec("multivantage", {"multivantage": spec}, output),
             records=all_records,
             spool_paths=spool_paths,
-            failures=failures,
-            elapsed=elapsed,
-            executed=executed,
-            resumed=resumed,
-            record_count=record_count,
+            failures=tally.failures,
+            elapsed=tally.elapsed,
+            executed=tally.executed,
+            resumed=tally.resumed,
+            record_count=tally.record_count,
             campaign=run,
             extra={
                 "waves": [

@@ -33,13 +33,21 @@ import dataclasses
 import json
 from dataclasses import dataclass, field, fields
 from pathlib import Path
-from typing import Dict, Mapping, Optional, Tuple, Union
+from typing import Callable, Dict, Mapping, MutableMapping, Optional, Tuple, Union
 
 from repro.resilience.chaos import ChaosSpec as _ChaosPlaneSpec
 
 #: Campaign kinds a :class:`RunSpec` can describe, and the section
 #: holding each kind's workload settings.
 RUN_KINDS = ("crawl", "measure", "longitudinal", "multivantage")
+
+#: Current version of the RunSpec *wire schema* — the JSON structure
+#: :meth:`RunSpec.to_dict` emits and the campaign service accepts.
+#: Version 1 is the pre-versioning format (no ``schema_version`` key);
+#: version 2 added the explicit key and the ``"distributed"`` executor
+#: backend.  Old versions are upgraded through :data:`_SPEC_MIGRATIONS`
+#: so queued/submitted campaigns survive spec evolution.
+SPEC_SCHEMA_VERSION = 2
 
 #: Kinds whose records land in a wave directory (``output.out_dir``)
 #: rather than a single spool file (``output.path``).
@@ -51,6 +59,68 @@ MEASURE_MODES = ("accept", "reject", "ublock")
 
 class SpecError(ValueError):
     """A run spec (or config file) is structurally invalid."""
+
+
+class SpecVersionError(SpecError):
+    """A run spec declares a wire-schema version this build cannot read."""
+
+
+#: Migration hooks: ``version -> upgrade`` where *upgrade* takes the
+#: mutable spec mapping at that version and returns the mapping at
+#: ``version + 1``.  :meth:`RunSpec.from_dict` chains these until the
+#: data reaches :data:`SPEC_SCHEMA_VERSION`, so a spec serialized by an
+#: older build stays submittable forever (each release that changes the
+#: wire shape registers exactly one hook here).
+_SPEC_MIGRATIONS: Dict[int, Callable[[MutableMapping], MutableMapping]] = {}
+
+
+def spec_migration(version: int):
+    """Register the migration upgrading wire-schema *version* by one."""
+    def register(upgrade: Callable[[MutableMapping], MutableMapping]):
+        _SPEC_MIGRATIONS[version] = upgrade
+        return upgrade
+    return register
+
+
+@spec_migration(1)
+def _upgrade_v1(data: MutableMapping) -> MutableMapping:
+    """v1 -> v2: the structure is unchanged; the version key is new."""
+    return data
+
+
+def migrate_spec_payload(data: Mapping) -> Dict[str, object]:
+    """Upgrade a raw spec mapping to :data:`SPEC_SCHEMA_VERSION`.
+
+    A missing ``schema_version`` means version 1 (the pre-versioning
+    format).  Unknown — usually *newer* — versions are rejected with a
+    readable :class:`SpecVersionError` instead of a downstream
+    field-validation surprise, so a service running an older build
+    refuses a newer client's spec in one comprehensible sentence.
+    """
+    out = dict(data)
+    version = out.pop("schema_version", 1)
+    if not isinstance(version, int) or isinstance(version, bool):
+        raise SpecVersionError(
+            f"schema_version must be an integer, got {version!r}"
+        )
+    while version < SPEC_SCHEMA_VERSION:
+        upgrade = _SPEC_MIGRATIONS.get(version)
+        if upgrade is None:
+            raise SpecVersionError(
+                f"no migration from spec schema_version {version} "
+                f"(supported: {sorted(_SPEC_MIGRATIONS)} -> "
+                f"{SPEC_SCHEMA_VERSION})"
+            )
+        out = dict(upgrade(out))
+        out.pop("schema_version", None)
+        version += 1
+    if version > SPEC_SCHEMA_VERSION:
+        raise SpecVersionError(
+            f"spec declares schema_version {version}, but this build "
+            f"reads up to {SPEC_SCHEMA_VERSION} — it was produced by a "
+            "newer release; upgrade this installation to run it"
+        )
+    return out
 
 
 def _tuple_or_none(value) -> Optional[tuple]:
@@ -95,7 +165,7 @@ class WorldSpec:
 
 #: Executor backends `EngineSpec.executor` can name (``None`` = the
 #: historical rule: serial when ``workers == 1``, threads otherwise).
-EXECUTOR_BACKENDS = ("serial", "thread", "process")
+EXECUTOR_BACKENDS = ("serial", "thread", "process", "distributed")
 
 #: Merge strategies: in-memory plan-order assembly, or the streaming
 #: k-way join over per-shard spools (O(shard buffer) memory).
@@ -109,10 +179,13 @@ class EngineSpec:
     workers: int = 1
     #: ``None`` keeps the engine default (1 serial, 4 × workers parallel).
     shards: Optional[int] = None
-    #: Executor backend (serial/thread/process); ``None`` keeps the
-    #: workers-based rule.  The process backend sidesteps the GIL for
-    #: compute-bound crawls but requires a picklable campaign (stock
-    #: crawler over a built world — see the engine docs).
+    #: Executor backend (serial/thread/process/distributed); ``None``
+    #: keeps the workers-based rule.  The process backend sidesteps the
+    #: GIL for compute-bound crawls but requires a picklable campaign
+    #: (stock crawler over a built world — see the engine docs);
+    #: ``distributed`` ships the same shard bundles to worker processes
+    #: over a socket work queue (:mod:`repro.distributed`) under the
+    #: same portability rules.
     executor: Optional[str] = None
     #: ``"memory"`` merges in memory; ``"spool"`` streams shard output
     #: to per-shard spools and k-way-joins them (needs an output path).
@@ -519,8 +592,16 @@ class RunSpec:
     # Serialisation
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict[str, object]:
-        """The canonical nested-dict form (inactive workloads omitted)."""
-        out: Dict[str, object] = {"kind": self.kind}
+        """The canonical nested-dict form (inactive workloads omitted).
+
+        The emitted mapping is the versioned *wire schema*: it always
+        carries ``schema_version`` so a spec queued today is readable
+        (via the registered migrations) by whatever build dequeues it.
+        """
+        out: Dict[str, object] = {
+            "schema_version": SPEC_SCHEMA_VERSION,
+            "kind": self.kind,
+        }
         for name in ("world", "engine", "resilience", "chaos",
                      self.kind, "output"):
             out[name] = dataclasses.asdict(getattr(self, name))
@@ -536,6 +617,7 @@ class RunSpec:
         """
         if not isinstance(data, Mapping):
             raise SpecError(f"run spec must be a mapping, got {type(data).__name__}")
+        data = migrate_spec_payload(data)
         file_kind = data.get("kind")
         if file_kind is not None and kind is not None and file_kind != kind:
             raise SpecError(

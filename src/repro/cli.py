@@ -79,11 +79,13 @@ def _add_engine_args(parser: argparse.ArgumentParser) -> None:
              "parallel; tasks are sharded by a stable domain hash)",
     )
     parser.add_argument(
-        "--executor", choices=("serial", "thread", "process"),
+        "--executor", choices=("serial", "thread", "process", "distributed"),
         default=argparse.SUPPRESS,
         help="executor backend (default: serial when --workers 1, thread "
              "otherwise; process sidesteps the GIL for compute-bound "
-             "crawls — final JSONL is byte-identical across backends)",
+             "crawls; distributed ships shard bundles to worker "
+             "processes over a socket work queue — final JSONL is "
+             "byte-identical across backends)",
     )
     parser.add_argument(
         "--merge", choices=("memory", "spool"),
@@ -302,6 +304,89 @@ def build_parser() -> argparse.ArgumentParser:
         )
         _add_spec_surface(kind_parser, kind)
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the campaign service: a long-lived HTTP server that "
+             "accepts versioned RunSpec JSON (submit/status/stream/"
+             "cancel) with per-tenant quotas and priority scheduling",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default localhost)"
+    )
+    serve.add_argument(
+        "--port", type=int, default=8423,
+        help="bind port (default 8423; 0 picks an ephemeral port)",
+    )
+    serve.add_argument(
+        "--data-dir", required=True,
+        help="root for job state and campaign outputs (jobs/ and "
+             "campaigns/<id>/ live here; campaigns resume from the "
+             "checkpoints they left behind)",
+    )
+    serve.add_argument(
+        "--quota", type=_positive_int, default=4,
+        help="max queued+running campaigns per tenant (submits beyond "
+             "it get HTTP 429; default 4)",
+    )
+    serve.add_argument(
+        "--resume", action="store_true",
+        help="requeue persisted unfinished jobs on startup; their "
+             "campaigns restore from their checkpoint fingerprints",
+    )
+
+    worker = sub.add_parser(
+        "worker", help="distributed-crawl worker processes"
+    )
+    worker_sub = worker.add_subparsers(dest="worker_command", required=True)
+    worker_serve = worker_sub.add_parser(
+        "serve",
+        help="dial a distributed-run coordinator and run shard bundles "
+             "from its work queue until it closes the connection",
+    )
+    worker_serve.add_argument(
+        "--connect", required=True, metavar="HOST:PORT",
+        help="the coordinator's work-queue address (printed by a "
+             "distributed-executor run, or set via the engine spec)",
+    )
+    worker_serve.add_argument(
+        "--id", dest="worker_id", default=None,
+        help="worker name reported in the hello (default: host-pid)",
+    )
+    worker_serve.add_argument(
+        "--heartbeat", type=float, default=1.0,
+        help="heartbeat interval in seconds while a shard runs "
+             "(default 1.0)",
+    )
+
+    submit = sub.add_parser(
+        "submit",
+        help="compile a run spec from flags/--config (exactly like the "
+             "run subcommands) and submit it to a campaign service",
+    )
+    submit_sub = submit.add_subparsers(dest="submit_kind", required=True)
+    for kind in _SPEC_COMMANDS:
+        kind_parser = submit_sub.add_parser(
+            kind, help=f"submit a '{kind}' campaign"
+        )
+        _add_spec_surface(kind_parser, kind)
+        kind_parser.add_argument(
+            "--url", required=True,
+            help="service base URL, e.g. http://127.0.0.1:8423",
+        )
+        kind_parser.add_argument(
+            "--tenant", default="default",
+            help="tenant the campaign counts against (quota unit)",
+        )
+        kind_parser.add_argument(
+            "--priority", type=int, default=0,
+            help="scheduling priority (higher runs first; default 0)",
+        )
+        kind_parser.add_argument(
+            "--wait", action="store_true",
+            help="poll until the campaign leaves the queue and print "
+                 "its final state",
+        )
+
     checkpoint = sub.add_parser(
         "checkpoint", help="crawl-checkpoint file maintenance"
     )
@@ -519,6 +604,57 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"error: {error}", file=sys.stderr)
             return 2
         print(json.dumps(spec.to_dict(), indent=2, sort_keys=True))
+        return 0
+
+    if args.command == "serve":
+        from repro.service import CampaignService
+
+        service = CampaignService(
+            args.data_dir, host=args.host, port=args.port, quota=args.quota
+        )
+        return service.serve_forever(resume=args.resume)
+
+    if args.command == "worker":
+        from repro.distributed import serve_worker
+
+        host, _, port = args.connect.rpartition(":")
+        if not host or not port.isdigit():
+            print(
+                f"error: --connect takes HOST:PORT, got {args.connect!r}",
+                file=sys.stderr,
+            )
+            return 2
+        served = serve_worker(
+            host, int(port),
+            worker_id=args.worker_id,
+            heartbeat_interval=args.heartbeat,
+        )
+        print(f"served {served} shard(s)")
+        return 0
+
+    if args.command == "submit":
+        from repro.api import SpecError
+        from repro.service import ServiceClient, ServiceError
+
+        try:
+            spec = _compile_spec(args.submit_kind, args)
+        except SpecError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        client = ServiceClient(args.url)
+        try:
+            job = client.submit(
+                spec, tenant=args.tenant, priority=args.priority
+            )
+            print(f"{job['id']}: {job['state']}")
+            if args.wait:
+                job = client.wait(job["id"])
+                print(f"{job['id']}: {job['state']}"
+                      + (f" ({job['error']})" if job.get("error") else ""))
+                return 0 if job["state"] == "done" else 1
+        except ServiceError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
         return 0
 
     if args.command == "checkpoint":

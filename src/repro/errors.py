@@ -130,6 +130,28 @@ class AnalysisError(ReproError):
     """An analysis step received inconsistent or empty input."""
 
 
+class TransportError(ReproError):
+    """A shard bundle or worker reply failed to cross the wire.
+
+    Distinct from :class:`NetworkError` (which models the *simulated*
+    web): transport errors are faults of the harness's own distributed
+    plane — a worker connection dropping mid-shard, a reply frame that
+    is not valid JSON, or a reply whose outcomes do not cover the
+    bundle.  The coordinator degrades the affected tasks to structured
+    records instead of dropping them, so record counts always match
+    the plan; :func:`error_category` classifies the whole family as
+    ``"transport"``.
+    """
+
+
+class WorkerLostError(TransportError):
+    """A distributed worker died (or its lease expired) mid-shard."""
+
+
+class WireProtocolError(TransportError):
+    """A wire frame could not be decoded or violated the protocol."""
+
+
 # ---------------------------------------------------------------------------
 # Taxonomy helpers
 # ---------------------------------------------------------------------------
@@ -167,11 +189,15 @@ def error_category(name: str) -> str:
     """Classify an error *name* (as recorded in outcomes/records).
 
     Returns ``"transient"`` or ``"permanent"`` for names in the
-    :class:`ReproError` taxonomy and ``"unknown"`` for anything else —
-    analysis code must not crash on error strings minted by future
-    versions (or by custom crawlers).
+    :class:`ReproError` taxonomy, ``"transport"`` for the
+    :class:`TransportError` family (harness-plane faults: lost
+    workers, malformed wire replies), and ``"unknown"`` for anything
+    else — analysis code must not crash on error strings minted by
+    future versions (or by custom crawlers).
     """
     cls = _taxonomy().get(name)
     if cls is None:
         return "unknown"
+    if issubclass(cls, TransportError):
+        return "transport"
     return "transient" if cls.transient else "permanent"

@@ -177,7 +177,11 @@ TASK_MODES = ("detect", "accept", "reject", "subscription", "ublock")
 
 #: Executor backends selectable by name (``EngineSpec.executor`` /
 #: ``--executor``); ``None`` keeps the historical workers-based rule.
-EXECUTOR_BACKENDS = ("serial", "thread", "process")
+EXECUTOR_BACKENDS = ("serial", "thread", "process", "distributed")
+
+#: Backends whose shards run outside this process (picklable bundle
+#: path, per-task visit-id regime, stock-crawler portability check).
+_BUNDLE_BACKENDS = ("process", "distributed")
 
 #: Merge strategies: in-memory plan-order assembly, or the k-way
 #: streaming join over per-shard spools (O(shard buffer) memory).
@@ -1217,7 +1221,7 @@ class CrawlEngine:
         # visit-id regime below) exactly like backend="process".
         parallel = (
             workers > 1
-            or backend in ("thread", "process")
+            or backend in ("thread",) + _BUNDLE_BACKENDS
             or getattr(executor, "uses_processes", False)
         )
         self.shards = shards if shards is not None else (
@@ -1279,7 +1283,7 @@ class CrawlEngine:
         return (
             self.workers > 1
             or self.checkpoint_path is not None
-            or self.backend in ("thread", "process")
+            or self.backend in ("thread",) + _BUNDLE_BACKENDS
             or getattr(self.executor, "uses_processes", False)
         )
 
@@ -1428,6 +1432,11 @@ class CrawlEngine:
         workers = min(self.workers, self.shards)
         if backend == "process":
             return ProcessExecutor(workers)
+        if backend == "distributed":
+            # Imported lazily — repro.distributed builds on this module.
+            from repro.distributed import DistributedExecutor
+
+            return DistributedExecutor(workers)
         return ParallelExecutor(workers)
 
     # ------------------------------------------------------------------

@@ -1,0 +1,43 @@
+"""repro.service — the campaign service plane.
+
+A thin long-lived server wrapping :class:`~repro.api.Session`:
+campaigns are submitted as versioned :class:`~repro.api.RunSpec` JSON
+and executed through exactly the code path the CLI and library use,
+with submit/status/stream/cancel endpoints, a FIFO-with-priorities
+queue, per-tenant quotas, and resumable campaigns keyed by the
+engine's checkpoint fingerprints (job ids are content-addressed, so a
+restarted service re-queues a half-finished campaign against its own
+checkpoint directory).
+
+- :mod:`repro.service.jobs` — the job model, priority queue, quotas,
+  and crash-safe persistence.
+- :mod:`repro.service.server` — :class:`CampaignService`, the stdlib
+  ``ThreadingHTTPServer`` front-end plus the runner thread.
+- :mod:`repro.service.client` — :class:`ServiceClient`, the stdlib
+  client the ``submit`` CLI verb uses.
+"""
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.jobs import (
+    ACTIVE_STATES,
+    JOB_STATES,
+    Job,
+    JobCancelled,
+    JobQueue,
+    QuotaExceeded,
+    job_id,
+)
+from repro.service.server import CampaignService
+
+__all__ = [
+    "ACTIVE_STATES",
+    "CampaignService",
+    "JOB_STATES",
+    "Job",
+    "JobCancelled",
+    "JobQueue",
+    "QuotaExceeded",
+    "ServiceClient",
+    "ServiceError",
+    "job_id",
+]

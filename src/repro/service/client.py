@@ -1,0 +1,122 @@
+"""A minimal stdlib client for the campaign service.
+
+Used by the ``submit`` CLI verb and the tests; embedders with their
+own HTTP stack only need the endpoint table in
+:mod:`repro.service.server`.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Dict, Optional
+
+from repro.api.spec import RunSpec
+from repro.errors import ReproError
+
+from repro.service.jobs import ACTIVE_STATES
+
+
+class ServiceError(ReproError):
+    """An HTTP-level failure talking to the campaign service."""
+
+    def __init__(self, message: str, status: Optional[int] = None) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class ServiceClient:
+    def __init__(self, base_url: str, *, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    def _request(
+        self, method: str, path: str, body: Optional[Dict] = None,
+        *, raw: bool = False,
+    ):
+        data = (
+            json.dumps(body).encode("utf-8") if body is not None else None
+        )
+        request = urllib.request.Request(
+            self.base_url + path,
+            data=data,
+            method=method,
+            headers=(
+                {"Content-Type": "application/json"} if data else {}
+            ),
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout
+            ) as response:
+                payload = response.read()
+        except urllib.error.HTTPError as error:
+            detail = ""
+            try:
+                detail = json.loads(
+                    error.read().decode("utf-8")
+                ).get("error", "")
+            except (ValueError, OSError):
+                pass
+            raise ServiceError(
+                f"HTTP {error.code}: {detail or error.reason}",
+                status=error.code,
+            ) from error
+        except urllib.error.URLError as error:
+            raise ServiceError(
+                f"cannot reach campaign service at {self.base_url}: "
+                f"{error.reason}"
+            ) from error
+        if raw:
+            return payload
+        return json.loads(payload.decode("utf-8"))
+
+    # ------------------------------------------------------------------
+    def health(self) -> Dict:
+        return self._request("GET", "/v1/health")
+
+    def submit(
+        self, spec: RunSpec, *, tenant: str = "default", priority: int = 0
+    ) -> Dict:
+        return self._request("POST", "/v1/campaigns", {
+            "spec": spec.to_dict(),
+            "tenant": tenant,
+            "priority": priority,
+        })
+
+    def campaigns(self) -> Dict:
+        return self._request("GET", "/v1/campaigns")
+
+    def status(self, campaign_id: str) -> Dict:
+        return self._request("GET", f"/v1/campaigns/{campaign_id}")
+
+    def records(self, campaign_id: str) -> bytes:
+        """The finished campaign's merged JSONL bytes."""
+        return self._request(
+            "GET", f"/v1/campaigns/{campaign_id}/records", raw=True
+        )
+
+    def cancel(self, campaign_id: str) -> Dict:
+        return self._request("POST", f"/v1/campaigns/{campaign_id}/cancel")
+
+    def wait(
+        self,
+        campaign_id: str,
+        *,
+        timeout: Optional[float] = None,
+        poll: float = 0.3,
+    ) -> Dict:
+        """Poll status until the campaign leaves the active states."""
+        deadline = time.monotonic() + timeout if timeout else None
+        while True:
+            job = self.status(campaign_id)
+            if job["state"] not in ACTIVE_STATES:
+                return job
+            if deadline is not None and time.monotonic() > deadline:
+                raise ServiceError(
+                    f"campaign {campaign_id} still {job['state']} after "
+                    f"{timeout:.0f}s"
+                )
+            time.sleep(poll)

@@ -56,8 +56,8 @@ class TestRoundTrip:
     def test_to_dict_omits_inactive_workloads(self):
         payload = RunSpec(kind="crawl").to_dict()
         assert set(payload) == {
-            "kind", "world", "engine", "resilience", "chaos", "crawl",
-            "output",
+            "schema_version", "kind", "world", "engine", "resilience",
+            "chaos", "crawl", "output",
         }
 
     def test_save_load_round_trip(self, tmp_path):
@@ -240,3 +240,55 @@ class TestOverride:
             RunSpec(kind="longitudinal").override(
                 {"longitudinal": {"months": (3, 1)}}
             )
+
+
+class TestSchemaVersioning:
+    """The wire-schema version: emission, migration, refusal."""
+
+    def test_to_dict_declares_current_version(self):
+        from repro.api import SPEC_SCHEMA_VERSION
+
+        for spec in specs_of_every_kind():
+            assert spec.to_dict()["schema_version"] == SPEC_SCHEMA_VERSION
+
+    def test_versionless_payload_reads_as_v1(self):
+        # The pre-versioning wire format had no schema_version key;
+        # it must keep loading forever via the registered migrations.
+        spec = specs_of_every_kind()[0]
+        payload = spec.to_dict()
+        del payload["schema_version"]
+        assert RunSpec.from_dict(payload) == spec
+
+    def test_explicit_v1_payload_migrates(self):
+        spec = specs_of_every_kind()[1]
+        payload = spec.to_dict()
+        payload["schema_version"] = 1
+        assert RunSpec.from_dict(payload) == spec
+
+    def test_future_version_rejected_readably(self):
+        from repro.api import SpecVersionError
+
+        payload = specs_of_every_kind()[0].to_dict()
+        payload["schema_version"] = 99
+        with pytest.raises(SpecVersionError) as excinfo:
+            RunSpec.from_dict(payload)
+        message = str(excinfo.value)
+        assert "schema_version 99" in message
+        assert "newer release" in message
+
+    def test_non_integer_version_rejected(self):
+        from repro.api import SpecVersionError
+
+        payload = specs_of_every_kind()[0].to_dict()
+        for bad in ("2", 2.0, True, None):
+            payload["schema_version"] = bad
+            with pytest.raises(SpecVersionError, match="must be an integer"):
+                RunSpec.from_dict(payload)
+
+    def test_migrate_helper_is_pure(self):
+        from repro.api.spec import migrate_spec_payload
+
+        payload = {"schema_version": 1, "kind": "crawl"}
+        migrated = migrate_spec_payload(payload)
+        assert "schema_version" not in migrated
+        assert payload == {"schema_version": 1, "kind": "crawl"}

@@ -226,8 +226,11 @@ class TestMeasure:
 
 class TestSpecSubcommand:
     def test_prints_resolved_defaults(self, capsys):
+        from repro.api import SPEC_SCHEMA_VERSION
+
         assert main(["spec", "crawl"]) == 0
         payload = json.loads(capsys.readouterr().out)
+        assert payload["schema_version"] == SPEC_SCHEMA_VERSION
         assert payload["kind"] == "crawl"
         assert payload["world"] == {"scale": 0.05, "seed": 2023}
         assert payload["engine"]["workers"] == 1

@@ -252,6 +252,74 @@ def test_readme_documents_static_analysis():
         )
 
 
+def test_readme_documents_service_verbs():
+    """The operational verbs must stay documented: `serve`, `worker`,
+    and `submit` each need a README subsection whose flags exist in
+    the parser (the same no-ghost rule the run subcommands get)."""
+    subsections = readme_subsections()
+    top = top_level_parsers()
+    for verb in ("serve", "worker", "submit"):
+        assert verb in top, f"parser lost the '{verb}' subcommand"
+        assert verb in subsections, (
+            f"README lacks a '### `{verb}`' subsection"
+        )
+    # `serve` is a flat parser: its documented flags must all exist.
+    serve_flags = parser_flags(top["serve"])
+    ghosts = documented_flags(subsections["serve"]) - serve_flags
+    assert not ghosts, f"README documents serve flags {sorted(ghosts)}"
+    assert {"--data-dir", "--quota", "--resume"} <= serve_flags
+    # `worker serve` and `submit <kind>` nest; check the leaf parsers.
+    worker_serve = next(
+        action for action in top["worker"]._actions
+        if getattr(action, "choices", None)
+    ).choices["serve"]
+    assert {"--connect", "--id", "--heartbeat"} <= parser_flags(
+        worker_serve
+    )
+    submit_kinds = next(
+        action for action in top["submit"]._actions
+        if getattr(action, "choices", None)
+    ).choices
+    for name in GUARDED:
+        assert {"--url", "--tenant", "--priority", "--wait"} <= (
+            parser_flags(submit_kinds[name])
+        ), f"'submit {name}' lost part of the service surface"
+
+
+def test_readme_documents_campaign_service():
+    """The service/distributed surface must stay documented: the
+    section naming the wire version, the endpoint table, the worker
+    protocol, and the CI/bench gates is what the distributed-smoke
+    job and tests/test_distributed.py + tests/test_service.py
+    enforce."""
+    text = README.read_text(encoding="utf-8")
+    match = re.search(
+        r"^## Campaign service & distributed workers\n(.*?)(?=^## )",
+        text, re.DOTALL | re.MULTILINE,
+    )
+    assert match, (
+        "README.md lost its '## Campaign service & distributed "
+        "workers' section"
+    )
+    section = match.group(1)
+    for anchor in (
+        "schema_version", "SPEC_SCHEMA_VERSION", "SpecVersionError",
+        "WIRE_PROTOCOL_VERSION", "heartbeat", "re-dispatched",
+        "byte-identical to\nthe serial run", "`transport`",
+        "/v1/campaigns", "429", "content-addressed", "serve --resume",
+        "ServiceClient", "distributed-smoke", "BENCH_distributed.json",
+        "test_distributed.py", "test_service.py",
+    ):
+        assert anchor in section, (
+            f"README 'Campaign service & distributed workers' section "
+            f"no longer mentions {anchor!r}"
+        )
+    # The documented executor really exists in the engine surface.
+    from repro.api.spec import EXECUTOR_BACKENDS
+
+    assert "distributed" in EXECUTOR_BACKENDS
+
+
 def test_readme_documents_spec_and_checkpoint():
     subsections = readme_subsections()
     assert "spec" in subsections, "README lacks a '### `spec`' subsection"

@@ -25,6 +25,10 @@ DEFAULT_ROOTS: Tuple[Tuple[str, str], ...] = (
     ("src/repro/measure/engine.py", "RetryPolicy"),
     ("src/repro/bannerclick/detect.py", "BannerClick"),
     ("src/repro/lang/detector.py", "LanguageDetector"),
+    # Wire dataclasses cross the distributed executor's socket framing;
+    # their payloads must stay as serialisable as bundle state itself.
+    ("src/repro/distributed/wire.py", "WireBundle"),
+    ("src/repro/distributed/wire.py", "WireResult"),
 )
 
 #: Constructors whose product cannot cross a process boundary.
